@@ -1,0 +1,101 @@
+// Command dpbp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|all [flags]
+//
+// Flags:
+//
+//	-bench comp,gcc,...   benchmarks to run (default: all twenty)
+//	-insts N              timing-run instruction budget (default 400000)
+//	-profinsts N          profiling-run instruction budget (default 1000000)
+//	-par N                parallel benchmark runs (default NumCPU)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpbp"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, all")
+	bench := flag.String("bench", "", "comma-separated benchmark names (default: all)")
+	insts := flag.Uint64("insts", 400_000, "timing-run instruction budget")
+	profInsts := flag.Uint64("profinsts", 1_000_000, "profiling-run instruction budget")
+	par := flag.Int("par", 0, "parallel benchmark runs (default NumCPU)")
+	flag.Parse()
+
+	opts := dpbp.ExperimentOptions{
+		TimingInsts:  *insts,
+		ProfileInsts: *profInsts,
+		Parallelism:  *par,
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if err := run(*expName, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, opts dpbp.ExperimentOptions) error {
+	show := func(s fmt.Stringer, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.String())
+		return nil
+	}
+	switch name {
+	case "table1":
+		return show(result(dpbp.Table1(opts)))
+	case "table2":
+		return show(result(dpbp.Table2(opts)))
+	case "fig6":
+		return show(result(dpbp.Figure6(opts)))
+	case "fig7":
+		return show(result(dpbp.Figure7(opts)))
+	case "fig8":
+		return show(result(dpbp.Figure8(opts)))
+	case "fig9":
+		return show(result(dpbp.Figure9(opts)))
+	case "perfect":
+		return show(result(dpbp.Perfect(opts)))
+	case "guided":
+		return show(result(dpbp.ProfileGuided(opts)))
+	case "ablations":
+		return show(result(dpbp.Ablations(opts)))
+	case "all":
+		if err := show(result(dpbp.Table1(opts))); err != nil {
+			return err
+		}
+		if err := show(result(dpbp.Table2(opts))); err != nil {
+			return err
+		}
+		if err := show(result(dpbp.Perfect(opts))); err != nil {
+			return err
+		}
+		if err := show(result(dpbp.Figure6(opts))); err != nil {
+			return err
+		}
+		runs, err := dpbp.RunFigure7Set(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println((&dpbp.Figure7Result{Runs: runs}).String())
+		fmt.Println(dpbp.Figure8FromRuns(runs).String())
+		fmt.Println(dpbp.Figure9FromRuns(runs).String())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// result adapts (T, error) pairs to (fmt.Stringer, error).
+func result[T fmt.Stringer](v T, err error) (fmt.Stringer, error) { return v, err }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dpbp"
+)
+
+func tiny() dpbp.ExperimentOptions {
+	return dpbp.ExperimentOptions{
+		Benchmarks:   []string{"comp"},
+		TimingInsts:  60_000,
+		ProfileInsts: 60_000,
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "perfect", "guided"} {
+		if err := run(name, tiny()); err != nil {
+			t.Errorf("run(%q) = %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run("bogus", tiny())
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("run(bogus) = %v", err)
+	}
+}
+
+func TestRunBadBenchmark(t *testing.T) {
+	opts := tiny()
+	opts.Benchmarks = []string{"nope"}
+	if err := run("table1", opts); err == nil {
+		t.Error("bad benchmark accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	if err := run("all", tiny()); err != nil {
+		t.Errorf("run(all) = %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command routines inspects the microthread routines the builder
+// constructs for a benchmark: disassembled bodies with spawn metadata, and
+// a summary of size, dependence-chain, live-in, and pruning distributions.
+//
+// Usage:
+//
+//	routines -bench gcc [-insts 300000] [-show 5] [-pruning=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dpbp"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name")
+	insts := flag.Uint64("insts", 300_000, "instruction budget")
+	show := flag.Int("show", 5, "number of routines to print in full")
+	pruning := flag.Bool("pruning", true, "enable pruning")
+	flag.Parse()
+
+	w, err := dpbp.NewWorkload(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routines:", err)
+		os.Exit(1)
+	}
+
+	var routines []*dpbp.Routine
+	cfg := dpbp.DefaultConfig()
+	cfg.MaxInsts = *insts
+	cfg.Pruning = *pruning
+	cfg.OnBuild = func(r *dpbp.Routine) { routines = append(routines, r) }
+	res := dpbp.Run(w, cfg)
+
+	fmt.Printf("%s: %d routines built over %d instructions (pruning=%v)\n\n",
+		w.Name, len(routines), res.Insts, *pruning)
+	if len(routines) == 0 {
+		return
+	}
+
+	for i, r := range routines {
+		if i >= *show {
+			break
+		}
+		fmt.Print(r)
+		fmt.Println()
+	}
+
+	// Distributions.
+	sizes := make([]int, len(routines))
+	chains := make([]int, len(routines))
+	var liveIns, pruned, memSpec int
+	for i, r := range routines {
+		sizes[i] = r.Size()
+		chains[i] = r.DepChain
+		liveIns += len(r.LiveIns)
+		pruned += r.PrunedSubtrees
+		if r.MemDepSpeculative {
+			memSpec++
+		}
+	}
+	sort.Ints(sizes)
+	sort.Ints(chains)
+	pctile := func(xs []int, p int) int { return xs[(len(xs)-1)*p/100] }
+	fmt.Printf("size:        min=%d p50=%d p90=%d max=%d\n",
+		sizes[0], pctile(sizes, 50), pctile(sizes, 90), sizes[len(sizes)-1])
+	fmt.Printf("dep chain:   min=%d p50=%d p90=%d max=%d\n",
+		chains[0], pctile(chains, 50), pctile(chains, 90), chains[len(chains)-1])
+	fmt.Printf("live-ins:    %.2f average per routine\n", float64(liveIns)/float64(len(routines)))
+	fmt.Printf("pruned subtrees: %d total across %d routines\n", pruned, len(routines))
+	fmt.Printf("memory-speculative routines: %d of %d\n", memSpec, len(routines))
+	fmt.Printf("\nbuild terminations: scope=%d memdep=%d mcb-full=%d\n",
+		res.Build.TerminatedScope, res.Build.TerminatedMemDep, res.Build.TerminatedMCBFull)
+}

@@ -1,0 +1,59 @@
+// Command trace inspects synthetic benchmarks: static disassembly or a
+// prefix of the dynamic instruction stream.
+//
+// Usage:
+//
+//	trace -bench li -disasm            # static code
+//	trace -bench li -n 100             # first 100 dynamic records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpbp"
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+)
+
+func main() {
+	bench := flag.String("bench", "li", "benchmark name")
+	disasm := flag.Bool("disasm", false, "print static disassembly instead of a trace")
+	n := flag.Uint64("n", 64, "number of dynamic instructions to trace")
+	flag.Parse()
+
+	w, err := dpbp.NewWorkload(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		fmt.Printf("%s: %d instructions, entry @%d, %d data words\n\n",
+			w.Name, len(w.Program.Code), w.Program.Entry, len(w.Program.Data))
+		fmt.Print(w.Program.Disassemble(0, isa.Addr(len(w.Program.Code))))
+		return
+	}
+
+	m := emu.New(w.Program)
+	m.Run(*n, func(r *emu.Record) bool {
+		marker := " "
+		if r.Inst.IsBranch() {
+			if r.Taken {
+				marker = "T"
+			} else {
+				marker = "."
+			}
+		}
+		fmt.Printf("%6d %s %6d: %-28s", r.Seq, marker, r.PC, r.Inst)
+		if r.Inst.IsLoad() || r.Inst.IsStore() {
+			fmt.Printf(" ea=%d", r.EA)
+		}
+		if _, ok := r.Inst.Writes(); ok {
+			fmt.Printf(" -> %d", r.DstVal)
+		}
+		fmt.Println()
+		return true
+	})
+}

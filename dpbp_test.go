@@ -1,0 +1,170 @@
+package dpbp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 20 {
+		t.Fatalf("got %d benchmarks, want 20", len(names))
+	}
+}
+
+func TestWorkloadLifecycle(t *testing.T) {
+	w, err := NewWorkload("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "li" || w.Program == nil || w.Profile.Name != "li" {
+		t.Fatalf("workload malformed: %+v", w)
+	}
+	if _, err := NewWorkload("bogus"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestMustWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWorkload did not panic on bogus name")
+		}
+	}()
+	MustWorkload("bogus")
+}
+
+func TestRunBaselineVsMechanism(t *testing.T) {
+	w := MustWorkload("comp")
+	base := BaselineConfig()
+	base.MaxInsts = 150_000
+	mech := DefaultConfig()
+	mech.MaxInsts = 150_000
+
+	rb := Run(w, base)
+	rm := Run(w, mech)
+	if rb.IPC() <= 0 || rm.IPC() <= 0 {
+		t.Fatalf("empty results: %v %v", rb, rm)
+	}
+	if rm.Micro.Spawned == 0 {
+		t.Error("default config spawned no microthreads")
+	}
+	if rm.Speedup(rb) <= 0.90 {
+		t.Errorf("mechanism lost >10%%: speedup %.3f", rm.Speedup(rb))
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	p := DefaultProfile("mybench", 1234)
+	p.Mix = KernelMix(5, 0, 1, 0, 0, 0, 0)
+	w := CustomWorkload(p)
+	if w.Name != "mybench" {
+		t.Fatalf("name = %q", w.Name)
+	}
+	cfg := BaselineConfig()
+	cfg.MaxInsts = 60_000
+	r := Run(w, cfg)
+	if r.Insts == 0 || r.Branches == 0 {
+		t.Fatalf("custom workload did not run: %+v", r)
+	}
+}
+
+func TestProfileAPI(t *testing.T) {
+	w := MustWorkload("go")
+	p := Profile(w, PathProfileConfig{MaxInsts: 120_000})
+	if p.Branches == 0 || len(p.ByN) != 3 {
+		t.Fatalf("profile malformed: %+v", p)
+	}
+	rows := p.Table1([]float64{0.10})
+	if len(rows) != 3 || rows[0].UniquePaths == 0 {
+		t.Errorf("table1 rows malformed: %+v", rows)
+	}
+}
+
+func TestExperimentWrappers(t *testing.T) {
+	o := ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 100_000, ProfileInsts: 100_000}
+	t1, err := Table1(o)
+	if err != nil || !strings.Contains(t1.String(), "Table 1") {
+		t.Errorf("Table1 wrapper: %v", err)
+	}
+	t2, err := Table2(o)
+	if err != nil || !strings.Contains(t2.String(), "Table 2") {
+		t.Errorf("Table2 wrapper: %v", err)
+	}
+	f6, err := Figure6(o)
+	if err != nil || !strings.Contains(f6.String(), "Figure 6") {
+		t.Errorf("Figure6 wrapper: %v", err)
+	}
+	runs, err := RunFigure7Set(o)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("RunFigure7Set wrapper: %v", err)
+	}
+	if !strings.Contains((&Figure7Result{Runs: runs}).String(), "Figure 7") {
+		t.Error("Figure7 render")
+	}
+	if !strings.Contains(Figure8FromRuns(runs).String(), "Figure 8") {
+		t.Error("Figure8 render")
+	}
+	if !strings.Contains(Figure9FromRuns(runs).String(), "Figure 9") {
+		t.Error("Figure9 render")
+	}
+	pf, err := Perfect(o)
+	if err != nil || pf.GeomeanSpeedup <= 1 {
+		t.Errorf("Perfect wrapper: %v %v", err, pf)
+	}
+}
+
+func TestStandaloneFigureWrappers(t *testing.T) {
+	o := ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 60_000, ProfileInsts: 60_000}
+	f7, err := Figure7(o)
+	if err != nil || !strings.Contains(f7.String(), "Figure 7") {
+		t.Errorf("Figure7: %v", err)
+	}
+	f8, err := Figure8(o)
+	if err != nil || !strings.Contains(f8.String(), "Figure 8") {
+		t.Errorf("Figure8: %v", err)
+	}
+	f9, err := Figure9(o)
+	if err != nil || !strings.Contains(f9.String(), "Figure 9") {
+		t.Errorf("Figure9: %v", err)
+	}
+	pg, err := ProfileGuided(o)
+	if err != nil || !strings.Contains(pg.String(), "profile-guided") {
+		t.Errorf("ProfileGuided: %v", err)
+	}
+	ab, err := Ablations(ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 30_000})
+	if err != nil || !strings.Contains(ab.String(), "Ablations") {
+		t.Errorf("Ablations: %v", err)
+	}
+}
+
+func TestOnBuildHook(t *testing.T) {
+	w := MustWorkload("comp")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 150_000
+	var routines []*Routine
+	cfg.OnBuild = func(r *Routine) { routines = append(routines, r) }
+	res := Run(w, cfg)
+	if uint64(len(routines)) != res.Build.Builds {
+		t.Errorf("hook saw %d routines, builder reports %d", len(routines), res.Build.Builds)
+	}
+	for _, r := range routines {
+		if r.Size() == 0 || r.BranchPC == 0 && r.SpawnPC == 0 && r.SeqDelta == 0 {
+			t.Errorf("malformed routine from hook: %+v", r)
+		}
+	}
+}
+
+func TestDefaultProfileTemplate(t *testing.T) {
+	p := DefaultProfile("x", 9)
+	if p.Name != "x" || p.Seed != 9 || p.Kernels <= 0 || p.Footprint <= 0 {
+		t.Errorf("template malformed: %+v", p)
+	}
+	// It must generate and run.
+	w := CustomWorkload(p)
+	cfg := BaselineConfig()
+	cfg.MaxInsts = 30_000
+	if r := Run(w, cfg); r.Insts == 0 {
+		t.Error("template workload did not run")
+	}
+}

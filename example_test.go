@@ -1,0 +1,79 @@
+package dpbp_test
+
+import (
+	"fmt"
+
+	"dpbp"
+)
+
+// ExampleRun compares the baseline Table 3 machine against the paper's
+// full difficult-path microthreading mechanism on one benchmark.
+func ExampleRun() {
+	w := dpbp.MustWorkload("gcc")
+
+	base := dpbp.BaselineConfig()
+	base.MaxInsts = 200_000
+	mech := dpbp.DefaultConfig()
+	mech.MaxInsts = 200_000
+
+	rb := dpbp.Run(w, base)
+	rm := dpbp.Run(w, mech)
+	fmt.Printf("speed-up positive: %v\n", rm.Speedup(rb) > 1)
+	// Output: speed-up positive: true
+}
+
+// ExampleProfile characterises a workload's difficult paths the way
+// Tables 1 and 2 of the paper do.
+func ExampleProfile() {
+	w := dpbp.MustWorkload("go")
+	p := dpbp.Profile(w, dpbp.PathProfileConfig{MaxInsts: 200_000})
+	rows := p.Table2([]float64{0.10})
+	c := rows[0].ByN[16]
+	b := rows[0].Branch
+	fmt.Printf("paths beat branches at misprediction resolution: %v\n",
+		c.MisPct >= b.MisPct-5 && c.ExePct <= b.ExePct+5)
+	// Output: paths beat branches at misprediction resolution: true
+}
+
+// ExampleCustomWorkload builds a synthetic workload from a custom profile
+// and measures its baseline misprediction rate.
+func ExampleCustomWorkload() {
+	p := dpbp.DefaultProfile("mine", 1)
+	p.Bias = 0.5 // coin-flip data: maximally hard branches
+	w := dpbp.CustomWorkload(p)
+
+	cfg := dpbp.BaselineConfig()
+	cfg.MaxInsts = 100_000
+	r := dpbp.Run(w, cfg)
+	fmt.Printf("hard workload mispredicts: %v\n", r.MispredictRate() > 0.02)
+	// Output: hard workload mispredicts: true
+}
+
+// ExampleMachineConfig_onBuild inspects the routines the Microthread
+// Builder constructs.
+func ExampleMachineConfig_onBuild() {
+	w := dpbp.MustWorkload("comp")
+	cfg := dpbp.DefaultConfig()
+	cfg.MaxInsts = 150_000
+
+	built := 0
+	cfg.OnBuild = func(r *dpbp.Routine) { built++ }
+	res := dpbp.Run(w, cfg)
+	fmt.Printf("hook matches builder stats: %v\n", uint64(built) == res.Build.Builds)
+	// Output: hook matches builder stats: true
+}
+
+// ExampleFigure7 regenerates the paper's headline figure for a subset of
+// benchmarks.
+func ExampleFigure7() {
+	r, err := dpbp.Figure7(dpbp.ExperimentOptions{
+		Benchmarks:  []string{"comp"},
+		TimingInsts: 100_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs per benchmark: %v\n", r.Runs[0].Base != nil &&
+		r.Runs[0].NoPrune != nil && r.Runs[0].Prune != nil && r.Runs[0].Overhead != nil)
+	// Output: runs per benchmark: true
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one benchmark on the baseline machine and on the full
+// difficult-path microthreading mechanism, and report what the mechanism
+// bought.
+package main
+
+import (
+	"fmt"
+
+	"dpbp"
+)
+
+func main() {
+	w := dpbp.MustWorkload("gcc")
+
+	base := dpbp.BaselineConfig()
+	base.MaxInsts = 500_000
+	rb := dpbp.Run(w, base)
+
+	mech := dpbp.DefaultConfig() // full mechanism, pruning on, n=10, T=.10
+	mech.MaxInsts = 500_000
+	rm := dpbp.Run(w, mech)
+
+	fmt.Printf("benchmark            %s\n", w.Name)
+	fmt.Printf("baseline IPC         %.3f (mispredict rate %.2f%%)\n",
+		rb.IPC(), 100*rb.MispredictRate())
+	fmt.Printf("microthread IPC      %.3f (mispredict rate %.2f%%)\n",
+		rm.IPC(), 100*rm.MispredictRate())
+	fmt.Printf("speed-up             %+.2f%%\n", 100*(rm.Speedup(rb)-1))
+	fmt.Println()
+	fmt.Printf("routines built       %d (avg %.1f insts, dep chain %.1f)\n",
+		rm.Build.Builds, rm.AvgRoutineSize, rm.AvgDepChain)
+	fmt.Printf("spawn attempts       %d (%.0f%% aborted pre-context)\n",
+		rm.Micro.AttemptedSpawns, 100*rm.Micro.AbortPreFraction())
+	fmt.Printf("spawned              %d (%.0f%% aborted in flight)\n",
+		rm.Micro.Spawned, 100*rm.Micro.AbortActiveFraction())
+	fmt.Printf("predictions used     %d (%d fixed a hardware misprediction)\n",
+		rm.Micro.UsedPredictions, rm.Micro.UsedFixed)
+	fmt.Printf("early recoveries     %d (late-but-useful predictions)\n",
+		rm.Micro.EarlyRecoveries)
+}

@@ -1,0 +1,52 @@
+// Sweep: explore the mechanism's two main knobs — path length n and
+// difficulty threshold T — on one benchmark, the trade-off Section 3.2
+// discusses (longer paths spawn earlier but multiply unique paths; higher
+// thresholds target better but cover less).
+package main
+
+import (
+	"fmt"
+
+	"dpbp"
+)
+
+func main() {
+	w := dpbp.MustWorkload("vortex")
+
+	base := dpbp.BaselineConfig()
+	base.MaxInsts = 300_000
+	rb := dpbp.Run(w, base)
+	fmt.Printf("%s baseline IPC %.3f\n\n", w.Name, rb.IPC())
+
+	fmt.Println("path length sweep (T=.10, pruning on):")
+	for _, n := range []int{2, 4, 10, 16, 24} {
+		cfg := dpbp.DefaultConfig()
+		cfg.MaxInsts = 300_000
+		cfg.N = n
+		r := dpbp.Run(w, cfg)
+		fmt.Printf("  n=%-3d speed-up %+6.2f%%   used=%-6d fixed=%-5d attempts=%d\n",
+			n, 100*(r.Speedup(rb)-1), r.Micro.UsedPredictions, r.Micro.UsedFixed,
+			r.Micro.AttemptedSpawns)
+	}
+
+	fmt.Println("\nthreshold sweep (n=10, pruning on):")
+	for _, T := range []float64{0.02, 0.05, 0.10, 0.20, 0.40} {
+		cfg := dpbp.DefaultConfig()
+		cfg.MaxInsts = 300_000
+		cfg.PathCache.Threshold = T
+		r := dpbp.Run(w, cfg)
+		fmt.Printf("  T=%.2f speed-up %+6.2f%%   promotions=%-5d used=%-6d fixed=%d\n",
+			T, 100*(r.Speedup(rb)-1), r.PathCache.Promotions,
+			r.Micro.UsedPredictions, r.Micro.UsedFixed)
+	}
+
+	fmt.Println("\ntraining interval sweep (n=10, T=.10):")
+	for _, ti := range []int{8, 16, 32, 64, 128} {
+		cfg := dpbp.DefaultConfig()
+		cfg.MaxInsts = 300_000
+		cfg.PathCache.TrainInterval = ti
+		r := dpbp.Run(w, cfg)
+		fmt.Printf("  interval=%-4d speed-up %+6.2f%%   promotions=%d\n",
+			ti, 100*(r.Speedup(rb)-1), r.PathCache.Promotions)
+	}
+}

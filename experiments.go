@@ -1,0 +1,83 @@
+package dpbp
+
+import "dpbp/internal/exp"
+
+// ExperimentOptions selects benchmarks and budgets for the paper's
+// experiments. The zero value runs all twenty benchmarks with the default
+// instruction budgets.
+type ExperimentOptions = exp.Options
+
+// Experiment results, one type per paper table/figure; each renders a
+// paper-shaped text table via String.
+type (
+	// Table1Result holds unique-path counts, average scopes, and
+	// difficult-path counts (paper Table 1).
+	Table1Result = exp.Table1Result
+	// Table2Result holds misprediction/execution coverages for
+	// difficult branches vs difficult paths (paper Table 2).
+	Table2Result = exp.Table2Result
+	// Figure6Result holds potential speed-ups from perfect
+	// difficult-path prediction (paper Figure 6).
+	Figure6Result = exp.Figure6Result
+	// Figure7Result holds realistic speed-ups with/without pruning and
+	// overhead-only (paper Figure 7).
+	Figure7Result = exp.Figure7Result
+	// Figure8Result holds average routine sizes and dependence chains
+	// (paper Figure 8).
+	Figure8Result = exp.Figure8Result
+	// Figure9Result holds prediction-timeliness breakdowns (paper
+	// Figure 9).
+	Figure9Result = exp.Figure9Result
+	// PerfectResult holds the Section 1 perfect-prediction bound.
+	PerfectResult = exp.PerfectResult
+	// ProfileGuidedResult holds the profile-guided-promotion extension
+	// experiment (the paper's future work).
+	ProfileGuidedResult = exp.ProfileGuidedResult
+	// Figure7Runs bundles the shared runs behind Figures 7-9.
+	Figure7Runs = exp.Figure7Runs
+)
+
+// Table1 reproduces paper Table 1.
+func Table1(o ExperimentOptions) (*Table1Result, error) { return exp.Table1(o) }
+
+// Table2 reproduces paper Table 2.
+func Table2(o ExperimentOptions) (*Table2Result, error) { return exp.Table2(o) }
+
+// Figure6 reproduces paper Figure 6.
+func Figure6(o ExperimentOptions) (*Figure6Result, error) { return exp.Figure6(o) }
+
+// Figure7 reproduces paper Figure 7.
+func Figure7(o ExperimentOptions) (*Figure7Result, error) { return exp.Figure7(o) }
+
+// Figure8 reproduces paper Figure 8.
+func Figure8(o ExperimentOptions) (*Figure8Result, error) { return exp.Figure8(o) }
+
+// Figure9 reproduces paper Figure 9.
+func Figure9(o ExperimentOptions) (*Figure9Result, error) { return exp.Figure9(o) }
+
+// Perfect reproduces the Section 1 perfect-prediction bound.
+func Perfect(o ExperimentOptions) (*PerfectResult, error) { return exp.Perfect(o) }
+
+// ProfileGuided runs the profile-guided-promotion extension experiment.
+func ProfileGuided(o ExperimentOptions) (*ProfileGuidedResult, error) { return exp.ProfileGuided(o) }
+
+// RunFigure7Set performs the four timing runs behind Figures 7-9 once, so
+// the three figures can be rendered from shared runs:
+//
+//	runs, _ := dpbp.RunFigure7Set(opts)
+//	fmt.Println((&dpbp.Figure7Result{Runs: runs}).String())
+//	fmt.Println(dpbp.Figure8FromRuns(runs).String())
+//	fmt.Println(dpbp.Figure9FromRuns(runs).String())
+func RunFigure7Set(o ExperimentOptions) ([]Figure7Runs, error) { return exp.RunFigure7Set(o) }
+
+// Figure8FromRuns renders Figure 8 from an existing run set.
+func Figure8FromRuns(runs []Figure7Runs) *Figure8Result { return exp.Figure8FromRuns(runs) }
+
+// Figure9FromRuns renders Figure 9 from an existing run set.
+func Figure9FromRuns(runs []Figure7Runs) *Figure9Result { return exp.Figure9FromRuns(runs) }
+
+// AblationResult holds the design-choice ablation study.
+type AblationResult = exp.AblationResult
+
+// Ablations runs the design-choice ablation study from DESIGN.md §5.
+func Ablations(o ExperimentOptions) (*AblationResult, error) { return exp.Ablations(o) }

@@ -1,0 +1,3 @@
+module dpbp
+
+go 1.22

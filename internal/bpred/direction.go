@@ -1,0 +1,178 @@
+package bpred
+
+import "dpbp/internal/isa"
+
+// Gshare is a global-history XOR-indexed pattern history table of 2-bit
+// counters (McFarling). History is maintained by the caller-visible Update;
+// the simulator trains with resolved outcomes in fetch order, which models
+// a machine with perfectly repaired history checkpoints.
+type Gshare struct {
+	pht      []counter2
+	hist     uint64
+	histBits uint
+	mask     uint64
+}
+
+// NewGshare returns a gshare predictor with entries counters (rounded up
+// to a power of two) and history length min(log2(entries), 16).
+func NewGshare(entries int) *Gshare {
+	n := pow2AtLeast(entries)
+	hb := uint(log2(n))
+	if hb > 16 {
+		hb = 16
+	}
+	g := &Gshare{pht: make([]counter2, n), histBits: hb, mask: uint64(n - 1)}
+	for i := range g.pht {
+		g.pht[i] = weaklyTaken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc isa.Addr) uint64 {
+	return (uint64(pc) ^ (g.hist << (log2(len(g.pht)) - int(g.histBits)))) & g.mask
+}
+
+// Predict returns the predicted direction for the conditional branch at pc.
+func (g *Gshare) Predict(pc isa.Addr) bool {
+	return g.pht[g.index(pc)].taken()
+}
+
+// Update trains the entry used for pc and shifts the outcome into the
+// global history.
+func (g *Gshare) Update(pc isa.Addr, taken bool) {
+	i := g.index(pc)
+	g.pht[i] = g.pht[i].update(taken)
+	g.shift(taken)
+}
+
+// shift pushes an outcome into the global history without training,
+// used for unconditional control flow that some configurations record.
+func (g *Gshare) shift(taken bool) {
+	g.hist = (g.hist << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.hist |= 1
+	}
+}
+
+// PAs is a per-address two-level predictor: a first-level table of local
+// history registers indexed by PC, and a second-level PHT indexed by the
+// local history concatenated with PC bits.
+type PAs struct {
+	localHist []uint16
+	pht       []counter2
+	histBits  uint
+	bhtMask   uint64
+	phtMask   uint64
+}
+
+// NewPAs returns a PAs predictor with phtEntries second-level counters and
+// bhtEntries local-history registers, both rounded up to powers of two.
+func NewPAs(phtEntries, bhtEntries int) *PAs {
+	pn := pow2AtLeast(phtEntries)
+	bn := pow2AtLeast(bhtEntries)
+	hb := uint(log2(pn)) / 2
+	if hb > 16 {
+		hb = 16
+	}
+	if hb < 4 {
+		hb = 4
+	}
+	p := &PAs{
+		localHist: make([]uint16, bn),
+		pht:       make([]counter2, pn),
+		histBits:  hb,
+		bhtMask:   uint64(bn - 1),
+		phtMask:   uint64(pn - 1),
+	}
+	for i := range p.pht {
+		p.pht[i] = weaklyTaken
+	}
+	return p
+}
+
+func (p *PAs) index(pc isa.Addr) uint64 {
+	h := uint64(p.localHist[uint64(pc)&p.bhtMask]) & ((1 << p.histBits) - 1)
+	return ((uint64(pc) << p.histBits) | h) & p.phtMask
+}
+
+// Predict returns the predicted direction for the conditional branch at pc.
+func (p *PAs) Predict(pc isa.Addr) bool {
+	return p.pht[p.index(pc)].taken()
+}
+
+// Update trains the used entry and shifts the outcome into pc's local
+// history register.
+func (p *PAs) Update(pc isa.Addr, taken bool) {
+	i := p.index(pc)
+	p.pht[i] = p.pht[i].update(taken)
+	b := uint64(pc) & p.bhtMask
+	p.localHist[b] <<= 1
+	if taken {
+		p.localHist[b] |= 1
+	}
+}
+
+// Hybrid combines gshare and PAs with a selector table of 2-bit counters
+// (counter high → use gshare). The selector trains only when the two
+// components disagree.
+type Hybrid struct {
+	G        *Gshare
+	P        *PAs
+	selector []counter2
+	selMask  uint64
+}
+
+// NewHybrid builds the Table 3 configuration scaled by the given sizes.
+func NewHybrid(phtEntries, selEntries int) *Hybrid {
+	n := pow2AtLeast(selEntries)
+	h := &Hybrid{
+		G:        NewGshare(phtEntries),
+		P:        NewPAs(phtEntries, phtEntries/32),
+		selector: make([]counter2, n),
+		selMask:  uint64(n - 1),
+	}
+	for i := range h.selector {
+		h.selector[i] = weaklyTaken // start trusting gshare
+	}
+	return h
+}
+
+// Predict returns the hybrid's direction prediction for pc.
+func (h *Hybrid) Predict(pc isa.Addr) bool {
+	if h.selector[uint64(pc)&h.selMask].taken() {
+		return h.G.Predict(pc)
+	}
+	return h.P.Predict(pc)
+}
+
+// Update trains both components, and the selector toward whichever
+// component was right when they disagreed.
+func (h *Hybrid) Update(pc isa.Addr, taken bool) {
+	gp := h.G.Predict(pc)
+	pp := h.P.Predict(pc)
+	if gp != pp {
+		i := uint64(pc) & h.selMask
+		h.selector[i] = h.selector[i].update(gp == taken)
+	}
+	h.G.Update(pc, taken)
+	h.P.Update(pc, taken)
+}
+
+// pow2AtLeast returns the smallest power of two >= n (at least 1).
+func pow2AtLeast(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpbp/internal/isa"
+)
+
+func TestHybridSelectorPrefersGshareForGlobalCorrelation(t *testing.T) {
+	h := NewHybrid(1<<14, 1<<12)
+	// Branch B's outcome equals branch A's last outcome: pure global
+	// correlation that local history cannot see from B alone.
+	rng := rand.New(rand.NewSource(7))
+	a, b := isa.Addr(10), isa.Addr(20)
+	last := false
+	misses := 0
+	const n = 8000
+	for i := 0; i < n; i++ {
+		av := rng.Intn(2) == 0
+		h.Update(a, av)
+		last = av
+		if h.Predict(b) != last && i > n/2 {
+			misses++
+		}
+		h.Update(b, last)
+	}
+	if rate := float64(misses) / (n / 2); rate > 0.10 {
+		t.Errorf("hybrid missed %.2f on globally-correlated branch", rate)
+	}
+}
+
+func TestGshareHistoryLengthMatters(t *testing.T) {
+	// A period-20 pattern needs more history than a tiny gshare has.
+	outcome := func(i int) bool { return i%20 < 10 }
+	missRate := func(entries int) float64 {
+		g := NewGshare(entries)
+		misses := 0
+		const n = 8000
+		for i := 0; i < n; i++ {
+			if g.Predict(100) != outcome(i) && i > n/2 {
+				misses++
+			}
+			g.Update(100, outcome(i))
+		}
+		return float64(misses) / (n / 2)
+	}
+	small := missRate(1 << 6) // 6-bit history
+	big := missRate(1 << 16)  // 16-bit history
+	if big >= small {
+		t.Errorf("long history did not help: %.3f vs %.3f", big, small)
+	}
+	if big > 0.05 {
+		t.Errorf("16-bit gshare failed to learn period-20: %.3f", big)
+	}
+}
+
+func TestRASRecoversNestedCalls(t *testing.T) {
+	p := New(DefaultConfig())
+	// call A (from 10), call B (from 100), ret B, ret A.
+	callA := isa.Inst{Op: isa.OpCall, Target: 100}
+	callB := isa.Inst{Op: isa.OpCall, Target: 200}
+	ret := isa.Inst{Op: isa.OpRet, Src1: isa.RRA}
+
+	pr := p.Predict(10, callA)
+	p.Update(10, callA, pr, true, 100)
+	pr = p.Predict(100, callB)
+	p.Update(100, callB, pr, true, 200)
+
+	pr = p.Predict(210, ret)
+	if pr.Target != 101 {
+		t.Errorf("inner return predicted %d, want 101", pr.Target)
+	}
+	p.Update(210, ret, pr, true, 101)
+	pr = p.Predict(110, ret)
+	if pr.Target != 11 {
+		t.Errorf("outer return predicted %d, want 11", pr.Target)
+	}
+	p.Update(110, ret, pr, true, 11)
+	if p.Stats.RetMispredicted != 0 {
+		t.Errorf("nested returns mispredicted: %+v", p.Stats)
+	}
+}
+
+func TestRetMispredictionCounted(t *testing.T) {
+	p := New(DefaultConfig())
+	ret := isa.Inst{Op: isa.OpRet, Src1: isa.RRA}
+	// Return with an empty RAS: prediction is a guess; feed an actual
+	// target it cannot have known.
+	pr := p.Predict(500, ret)
+	if !p.Update(500, ret, pr, true, 12345) {
+		t.Error("wrong return target not counted as misprediction")
+	}
+	if p.Stats.RetMispredicted != 1 {
+		t.Errorf("RetMispredicted = %d", p.Stats.RetMispredicted)
+	}
+}
+
+func TestPredictorClassIsolation(t *testing.T) {
+	// Training a conditional branch must not disturb the target cache
+	// and vice versa.
+	p := New(DefaultConfig())
+	cond := isa.Inst{Op: isa.OpBnez, Src1: 4, Target: 50}
+	ind := isa.Inst{Op: isa.OpJmpInd, Src1: 5}
+	for i := 0; i < 50; i++ {
+		pr := p.Predict(7, cond)
+		p.Update(7, cond, pr, true, 50)
+		pr = p.Predict(9, ind)
+		p.Update(9, ind, pr, true, 300)
+	}
+	if got := p.Predict(7, cond); !got.Taken {
+		t.Error("conditional training lost")
+	}
+	if got := p.Predict(9, ind); got.Target != 300 {
+		t.Errorf("indirect training lost: %d", got.Target)
+	}
+}

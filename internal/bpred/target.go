@@ -1,0 +1,119 @@
+package bpred
+
+import "dpbp/internal/isa"
+
+// BTB is a direct-mapped branch target buffer with tags: it caches the
+// taken-path target of direct branches so the front end can redirect
+// without waiting for decode.
+type BTB struct {
+	tags    []isa.Addr
+	targets []isa.Addr
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTB returns a BTB with entries slots (rounded up to a power of two).
+func NewBTB(entries int) *BTB {
+	n := pow2AtLeast(entries)
+	return &BTB{
+		tags:    make([]isa.Addr, n),
+		targets: make([]isa.Addr, n),
+		valid:   make([]bool, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Lookup returns the cached target for pc and whether it hit.
+func (b *BTB) Lookup(pc isa.Addr) (isa.Addr, bool) {
+	i := uint64(pc) & b.mask
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target isa.Addr) {
+	i := uint64(pc) & b.mask
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}
+
+// RAS is the return-address stack. Push on calls, pop on returns. On
+// overflow the oldest entry is overwritten (circular), as in real designs.
+type RAS struct {
+	stack []isa.Addr
+	top   int // index of next push
+	depth int // live entries, <= len(stack)
+}
+
+// NewRAS returns a RAS with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RAS{stack: make([]isa.Addr, capacity)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret isa.Addr) {
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. It returns false when the stack is
+// empty (prediction unavailable).
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// TargetCache predicts indirect-branch targets. It is indexed by a hash of
+// PC and the recent taken-target history (a small path signature), which
+// lets it distinguish dynamic instances of the same indirect jump.
+type TargetCache struct {
+	targets []isa.Addr
+	valid   []bool
+	hist    uint64
+	mask    uint64
+}
+
+// NewTargetCache returns a target cache with entries slots (rounded up to
+// a power of two).
+func NewTargetCache(entries int) *TargetCache {
+	n := pow2AtLeast(entries)
+	return &TargetCache{
+		targets: make([]isa.Addr, n),
+		valid:   make([]bool, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+func (t *TargetCache) index(pc isa.Addr) uint64 {
+	return (uint64(pc) ^ (t.hist << 4)) & t.mask
+}
+
+// Lookup returns the predicted target for the indirect branch at pc.
+func (t *TargetCache) Lookup(pc isa.Addr) (isa.Addr, bool) {
+	i := t.index(pc)
+	if t.valid[i] {
+		return t.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs the resolved target and folds it into the history.
+func (t *TargetCache) Update(pc, target isa.Addr) {
+	i := t.index(pc)
+	t.targets[i], t.valid[i] = target, true
+	t.hist = ((t.hist << 3) ^ uint64(target)) & t.mask
+}

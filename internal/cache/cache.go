@@ -1,0 +1,137 @@
+// Package cache provides the set-associative cache model used for the
+// instruction cache, data cache, and L2 of Table 3. The model tracks tags
+// and LRU state; timing (latencies, ports, banks) is composed on top by
+// the memory system and the core.
+package cache
+
+import "dpbp/internal/isa"
+
+// Config sizes a cache. All quantities are in words (the machine word is
+// the unit of addressing); a 64-byte line on a 64-bit machine is 8 words.
+type Config struct {
+	// SizeWords is the total capacity in words.
+	SizeWords int
+	// Ways is the set associativity.
+	Ways int
+	// LineWords is the line size in words.
+	LineWords int
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	tags     [][]uint64
+	valid    [][]bool
+	lru      [][]uint64
+	tick     uint64
+	lineBits uint
+
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New returns a cache configured by cfg; sizes are rounded to powers of
+// two.
+func New(cfg Config) *Cache {
+	if cfg.LineWords <= 0 {
+		cfg.LineWords = 8
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 1
+	}
+	if cfg.SizeWords < cfg.LineWords*cfg.Ways {
+		cfg.SizeWords = cfg.LineWords * cfg.Ways
+	}
+	lines := cfg.SizeWords / cfg.LineWords
+	sets := lines / cfg.Ways
+	p := 1
+	for p < sets {
+		p *= 2
+	}
+	sets = p
+	lb := uint(0)
+	for 1<<lb < cfg.LineWords {
+		lb++
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineBits: lb}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// Line returns the line address of a word address.
+func (c *Cache) Line(addr isa.Addr) uint64 { return uint64(addr) >> c.lineBits }
+
+func (c *Cache) setOf(line uint64) int { return int(line & uint64(c.sets-1)) }
+
+// Access probes the cache for the line containing addr, filling on a miss
+// (allocate-on-miss), and reports whether it hit.
+func (c *Cache) Access(addr isa.Addr) bool {
+	c.Accesses++
+	c.tick++
+	line := c.Line(addr)
+	s := c.setOf(line)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.lru[s][w] = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if !c.valid[s][w] {
+			victim = w
+			break
+		}
+		if c.lru[s][w] < c.lru[s][victim] {
+			victim = w
+		}
+	}
+	c.tags[s][victim] = line
+	c.valid[s][victim] = true
+	c.lru[s][victim] = c.tick
+	return false
+}
+
+// Probe reports whether the line containing addr is present, without
+// updating LRU state or filling.
+func (c *Cache) Probe(addr isa.Addr) bool {
+	line := c.Line(addr)
+	s := c.setOf(line)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr if present (Table 3: stores
+// are sent to the L2 and invalidated in the L1).
+func (c *Cache) Invalidate(addr isa.Addr) {
+	line := c.Line(addr)
+	s := c.setOf(line)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.valid[s][w] = false
+			return
+		}
+	}
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,80 @@
+package cache
+
+import "testing"
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(Config{SizeWords: 64, Ways: 2, LineWords: 8})
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("second access missed")
+	}
+	if !c.Access(7) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(8) {
+		t.Error("next-line access hit cold")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("stats: %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 2 sets of 8-word lines (32 words). Lines 0,2,4 map to set 0.
+	c := New(Config{SizeWords: 32, Ways: 2, LineWords: 8})
+	c.Access(0)  // line 0 -> set 0
+	c.Access(16) // line 2 -> set 0
+	c.Access(0)  // touch line 0 (line 2 is now LRU)
+	c.Access(32) // line 4 -> set 0, evicts line 2
+	if !c.Probe(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(16) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(32) {
+		t.Error("new line absent")
+	}
+}
+
+func TestProbeDoesNotFill(t *testing.T) {
+	c := New(Config{SizeWords: 64, Ways: 2, LineWords: 8})
+	if c.Probe(100) {
+		t.Error("probe hit cold cache")
+	}
+	if c.Access(100) {
+		t.Error("probe must not have filled")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{SizeWords: 64, Ways: 2, LineWords: 8})
+	c.Access(40)
+	c.Invalidate(40)
+	if c.Probe(40) {
+		t.Error("line survived invalidation")
+	}
+	// Invalidating an absent line is a no-op.
+	c.Invalidate(999)
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(Config{SizeWords: 64, Ways: 2, LineWords: 8})
+	if c.MissRate() != 0 {
+		t.Error("empty cache should report 0 miss rate")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %f, want 0.5", got)
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	c := New(Config{})
+	if !c.Access(0) == false && c.Access(0) {
+		t.Error("degenerate config broken")
+	}
+}

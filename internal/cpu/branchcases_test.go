@@ -1,0 +1,234 @@
+package cpu
+
+// Directed tests of branch-handling corner cases: early use, late correct
+// (early recovery), late wrong (bogus recovery), and the interplay with
+// the Prediction Cache's capacity and expiry.
+
+import (
+	"testing"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/program"
+	"dpbp/internal/synth"
+)
+
+// hardLoop builds a loop whose body branches on a data bit that flips in a
+// pattern no history predictor of the configured size can learn (the data
+// is an LCG stream), with the load chain short enough for microthreads to
+// pre-compute exactly.
+func hardLoop(iters int) *program.Program {
+	b := program.NewBuilder("hardloop")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: isa.Word(iters)}) // counter
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: 12345})           // lcg state addr base
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 9, Imm: 88172645463325252})
+	b.Label("loop")
+	// xorshift-style scramble in registers (sliceable, unpredictable).
+	b.Emit(isa.Inst{Op: isa.OpShli, Dst: 10, Src1: 9, Imm: 13})
+	b.Emit(isa.Inst{Op: isa.OpXor, Dst: 9, Src1: 9, Src2: 10})
+	b.Emit(isa.Inst{Op: isa.OpShri, Dst: 10, Src1: 9, Imm: 7})
+	b.Emit(isa.Inst{Op: isa.OpXor, Dst: 9, Src1: 9, Src2: 10})
+	b.Emit(isa.Inst{Op: isa.OpAndi, Dst: 11, Src1: 9, Imm: 1})
+	skip := "skip"
+	b.EmitBranch(isa.Inst{Op: isa.OpBeqz, Src1: 11}, skip)
+	b.Emit(isa.Inst{Op: isa.OpAddi, Dst: 12, Src1: 12, Imm: 1})
+	b.Label(skip)
+	b.Emit(isa.Inst{Op: isa.OpAddi, Dst: 4, Src1: 4, Imm: -1})
+	b.EmitBranch(isa.Inst{Op: isa.OpBnez, Src1: 4}, "loop")
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	return b.Finish()
+}
+
+func TestHardLoopBaselineMispredictsHeavily(t *testing.T) {
+	p := hardLoop(30_000)
+	cfg := DefaultConfig()
+	cfg.Mode = ModeBaseline
+	cfg.MaxInsts = 200_000
+	r := Run(p, cfg)
+	if r.MispredictRate() < 0.15 {
+		t.Errorf("xorshift branch mispredict rate %.2f; expected heavy misprediction",
+			r.MispredictRate())
+	}
+}
+
+func TestHardLoopMicrothreadsRecoverMost(t *testing.T) {
+	p := hardLoop(30_000)
+	base := DefaultConfig()
+	base.Mode = ModeBaseline
+	base.MaxInsts = 200_000
+	rb := Run(p, base)
+
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 200_000
+	cfg.Pruning = false
+	r := Run(p, cfg)
+	if r.Micro.UsedFixed == 0 && r.Micro.EarlyRecoveries == 0 {
+		t.Fatalf("microthreads fixed nothing on a perfectly sliceable hard branch: %+v", r.Micro)
+	}
+	if r.Speedup(rb) <= 1.0 {
+		t.Errorf("no speedup on the ideal microthread workload: %.3f", r.Speedup(rb))
+	}
+	// Accuracy must be near-perfect: the slice is exact and there are
+	// no stores.
+	if r.Micro.WrongUsed > r.Micro.CorrectUsed/20 {
+		t.Errorf("wrong used predictions too high: %d vs %d correct",
+			r.Micro.WrongUsed, r.Micro.CorrectUsed)
+	}
+	if r.Micro.MemDepViolations != 0 {
+		t.Errorf("phantom memory violations: %d", r.Micro.MemDepViolations)
+	}
+}
+
+func TestSpawnOverheadShiftsTimeliness(t *testing.T) {
+	// The early-arrival fraction must fall monotonically (weakly) as
+	// spawn overhead grows, and late correct predictions must initiate
+	// early recoveries somewhere along the way.
+	p := hardLoop(30_000)
+	prevEarly := 2.0
+	sawRecovery := false
+	for _, ov := range []int{4, 120, 600} {
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 200_000
+		cfg.SpawnOverhead = ov
+		r := Run(p, cfg)
+		total := r.Micro.Early + r.Micro.Late + r.Micro.Useless
+		if total == 0 {
+			t.Fatalf("overhead %d: no predictions delivered", ov)
+		}
+		early := float64(r.Micro.Early) / float64(total)
+		if early > prevEarly+0.02 {
+			t.Errorf("early fraction rose with overhead %d: %.2f > %.2f",
+				ov, early, prevEarly)
+		}
+		prevEarly = early
+		if r.Micro.EarlyRecoveries > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("no early recoveries at any overhead")
+	}
+}
+
+func TestHugeOverheadMakesPredictionsUseless(t *testing.T) {
+	p := hardLoop(30_000)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 150_000
+	cfg.SpawnOverhead = 5_000 // far beyond any resolve time
+	r := Run(p, cfg)
+	if r.Micro.Early != 0 {
+		t.Errorf("predictions delivered before fetch despite 5000-cycle overhead: %d", r.Micro.Early)
+	}
+	total := r.Micro.Early + r.Micro.Late + r.Micro.Useless
+	if total > 0 && r.Micro.Useless == 0 {
+		t.Error("no useless predictions despite extreme delivery delay")
+	}
+}
+
+func TestTinyPredictionCacheLosesPredictions(t *testing.T) {
+	p, err := programOf("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := DefaultConfig()
+	big.MaxInsts = 200_000
+	rbig := Run(p, big)
+	small := big
+	small.PCacheEntries = 1
+	rsmall := Run(p, small)
+	consumed := func(r *Result) uint64 { return r.Micro.Early + r.Micro.Late + r.Micro.Useless }
+	if consumed(rsmall) >= consumed(rbig) {
+		t.Errorf("1-entry Prediction Cache consumed as many predictions: %d vs %d",
+			consumed(rsmall), consumed(rbig))
+	}
+	if rsmall.PCache.Evictions == 0 {
+		t.Error("1-entry cache never evicted")
+	}
+}
+
+func TestBogusRecoveriesArePossibleButRare(t *testing.T) {
+	// On a realistic benchmark, late predictions occasionally override a
+	// correct hardware prediction; the design keeps these rare relative
+	// to genuine recoveries.
+	p, err := programOf("mcf_2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 400_000
+	r := Run(p, cfg)
+	if r.Micro.BogusRecoveries > r.Micro.EarlyRecoveries {
+		t.Errorf("bogus recoveries (%d) exceed genuine ones (%d)",
+			r.Micro.BogusRecoveries, r.Micro.EarlyRecoveries)
+	}
+}
+
+func TestZeroMaxInstsUsesDefault(t *testing.T) {
+	p := hardLoop(100)
+	cfg := Config{Mode: ModeBaseline}
+	r := Run(p, cfg)
+	// The program halts long before the default 1M budget.
+	if r.Insts == 0 {
+		t.Fatal("no instructions executed")
+	}
+	if !((r.Insts) < 1_000_000) {
+		t.Errorf("run did not stop at halt: %d insts", r.Insts)
+	}
+}
+
+// programOf generates a named synthetic benchmark (test helper).
+func programOf(name string) (*program.Program, error) {
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(p), nil
+}
+
+func TestPruningPreservesAccuracy(t *testing.T) {
+	// Pruning substitutes predictor-confident sub-trees; by construction
+	// (confidence gating) it must not materially raise the wrong-used
+	// fraction on a stride-friendly benchmark.
+	p, err := programOf("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(pruning bool) float64 {
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 300_000
+		cfg.Pruning = pruning
+		r := Run(p, cfg)
+		if r.Micro.UsedPredictions == 0 {
+			t.Fatal("no used predictions")
+		}
+		return float64(r.Micro.WrongUsed) / float64(r.Micro.UsedPredictions)
+	}
+	noPrune := frac(false)
+	prune := frac(true)
+	if prune > noPrune+0.10 {
+		t.Errorf("pruning raised wrong-used fraction: %.3f vs %.3f", prune, noPrune)
+	}
+}
+
+func TestPruningImprovesTimeliness(t *testing.T) {
+	// Figure 9's claim: pruning raises the early-arrival fraction.
+	p, err := programOf("comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := func(pruning bool) float64 {
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 300_000
+		cfg.Pruning = pruning
+		r := Run(p, cfg)
+		total := r.Micro.Early + r.Micro.Late + r.Micro.Useless
+		if total == 0 {
+			t.Fatal("no delivered predictions")
+		}
+		return float64(r.Micro.Early) / float64(total)
+	}
+	if e0, e1 := early(false), early(true); e1 <= e0 {
+		t.Errorf("pruning did not raise early fraction: %.2f -> %.2f", e0, e1)
+	}
+}

@@ -1,0 +1,72 @@
+package cpu
+
+// calendar tracks per-cycle usage of a shared resource (functional units,
+// L1 read ports) over a sliding horizon. Slots are validated by absolute
+// cycle so the ring can be reused without explicit clearing; scheduling
+// never looks further ahead than memory latency plus queueing, far below
+// the horizon.
+type calendar struct {
+	limit int
+	used  []uint16
+	cycle []uint64
+}
+
+const calendarHorizon = 1 << 15
+
+func newCalendar(limit int) *calendar {
+	return &calendar{
+		limit: limit,
+		used:  make([]uint16, calendarHorizon),
+		cycle: make([]uint64, calendarHorizon),
+	}
+}
+
+func (c *calendar) usedAt(cyc uint64) uint16 {
+	i := cyc % calendarHorizon
+	if c.cycle[i] != cyc {
+		return 0
+	}
+	return c.used[i]
+}
+
+func (c *calendar) add(cyc uint64) {
+	i := cyc % calendarHorizon
+	if c.cycle[i] != cyc {
+		c.cycle[i] = cyc
+		c.used[i] = 0
+	}
+	c.used[i]++
+}
+
+// remove refunds one slot at cyc (microthread abort). It is a no-op if the
+// slot has already been recycled.
+func (c *calendar) remove(cyc uint64) {
+	i := cyc % calendarHorizon
+	if c.cycle[i] == cyc && c.used[i] > 0 {
+		c.used[i]--
+	}
+}
+
+// earliest returns the first cycle at or after ready with a free slot,
+// and books it.
+func (c *calendar) earliest(ready uint64) uint64 {
+	cyc := ready
+	for c.usedAt(cyc) >= uint16(c.limit) {
+		cyc++
+	}
+	c.add(cyc)
+	return cyc
+}
+
+// earliest2 books a slot in both calendars at the first cycle at or after
+// ready where both have capacity (loads need a functional unit and an L1
+// port in the same cycle).
+func earliest2(a, b *calendar, ready uint64) uint64 {
+	cyc := ready
+	for a.usedAt(cyc) >= uint16(a.limit) || b.usedAt(cyc) >= uint16(b.limit) {
+		cyc++
+	}
+	a.add(cyc)
+	b.add(cyc)
+	return cyc
+}

@@ -1,0 +1,567 @@
+package cpu
+
+import (
+	"dpbp/internal/bpred"
+	"dpbp/internal/cache"
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+	"dpbp/internal/mem"
+	"dpbp/internal/path"
+	"dpbp/internal/pathcache"
+	"dpbp/internal/pcache"
+	"dpbp/internal/program"
+	"dpbp/internal/uthread"
+	"dpbp/internal/vpred"
+)
+
+// machine holds the state of one timing run.
+type machine struct {
+	cfg  Config
+	prog *program.Program
+	em   *emu.Machine
+
+	pred    *bpred.Predictor
+	vp, ap  *vpred.Predictor
+	msys    *mem.System
+	l1i     *cache.Cache
+	tracker *path.Tracker
+
+	pathCache *pathcache.Cache
+	prb       *uthread.PRB
+	builder   *uthread.Builder
+	uram      *uthread.MicroRAM
+	predCache *pcache.Cache
+
+	routineReady  map[path.ID]uint64
+	builderFreeAt uint64
+	promoted      map[path.ID]bool // ModePerfectPromoted's promoted set
+	prePromoted   map[path.ID]bool // profile-guided unconditional promotions
+
+	// Spawn-throttle feedback state.
+	throttled      bool
+	windowBranches int
+	windowFixes    uint64
+	windowSpawns   uint64
+
+	ctxs []mctx
+
+	fus, ports *calendar
+	regReady   [isa.NumRegs]uint64
+	retRing    []uint64
+	lastRet    uint64
+	retCount   int
+
+	// Front-end state.
+	fc           uint64
+	instsThis    int
+	branchesThis int
+	linesThis    []uint64
+	redirectAt   uint64
+	lastLine     uint64
+	haveLine     bool
+
+	// takenRing holds the PCs of the most recent taken branches the
+	// front end has seen (the Path_History register); the spawn screen
+	// compares routine prefixes against its suffix.
+	takenRing [takenRingSize]isa.Addr
+	takenCnt  uint64
+
+	res Result
+}
+
+// Run executes prog on the configured machine and returns its statistics.
+func Run(prog *program.Program, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	m := &machine{
+		cfg:  cfg,
+		prog: prog,
+		em:   emu.New(prog),
+		pred: bpred.New(cfg.Predictor),
+		vp:   vpred.New(cfg.VPred),
+		ap:   vpred.New(cfg.VPred),
+		msys: mem.New(cfg.Mem),
+		l1i: cache.New(cache.Config{
+			SizeWords: cfg.L1IWords, Ways: cfg.L1IWays, LineWords: 8,
+		}),
+		tracker:      path.NewTracker(cfg.N),
+		pathCache:    pathcache.New(cfg.PathCache),
+		prb:          uthread.NewPRB(cfg.PRBEntries),
+		builder:      uthread.NewBuilder(buildConfigOf(cfg)),
+		uram:         uthread.NewMicroRAM(cfg.MicroRAMEntries),
+		predCache:    pcache.New(cfg.PCacheEntries),
+		routineReady: make(map[path.ID]uint64),
+		promoted:     make(map[path.ID]bool),
+		ctxs:         make([]mctx, cfg.Microcontexts),
+		fus:          newCalendar(cfg.FUs),
+		ports:        newCalendar(cfg.L1Ports),
+		retRing:      make([]uint64, cfg.WindowSize),
+	}
+	m.res.Benchmark = prog.Name
+	m.res.Mode = cfg.Mode
+	m.res.Pruning = cfg.Pruning
+	if len(cfg.PrePromoted) > 0 {
+		m.prePromoted = make(map[path.ID]bool, len(cfg.PrePromoted))
+		for _, id := range cfg.PrePromoted {
+			m.prePromoted[path.ID(id)] = true
+			if cfg.Mode == ModePerfectPromoted {
+				m.promoted[path.ID(id)] = true
+			}
+		}
+	}
+
+	var rec emu.Record
+	for m.res.Insts < cfg.MaxInsts && !m.em.Halted() {
+		pc := m.em.PC()
+		in := prog.At(pc)
+		seq := m.em.Seq()
+		fc := m.fetchCycleFor(pc, in, seq)
+		if cfg.Mode == ModeMicrothread {
+			m.trySpawns(pc, seq, fc)
+		}
+		if !m.em.Step(&rec) {
+			break
+		}
+		m.res.Insts++
+		m.execute(&rec, fc)
+		if rec.Seq%64 == 0 {
+			m.predCache.Expire(rec.Seq)
+		}
+	}
+
+	m.res.Cycles = m.lastRet
+	m.res.PredStats = m.pred.Stats
+	m.res.PathCache = m.pathCache.Stats
+	m.res.PCache = m.predCache.Stats
+	m.res.Build = m.builder.Stats
+	m.res.AvgRoutineSize = m.builder.Stats.AvgSize()
+	m.res.AvgDepChain = m.builder.Stats.AvgChain()
+	m.res.L1MissRate = m.msys.L1.MissRate()
+	m.res.L2MissRate = m.msys.L2.MissRate()
+	return &m.res
+}
+
+func buildConfigOf(cfg Config) uthread.BuildConfig {
+	bc := uthread.DefaultBuildConfig(cfg.Pruning)
+	bc.MCBCapacity = cfg.MCBCapacity
+	return bc
+}
+
+func (m *machine) resetFetch() {
+	m.instsThis = 0
+	m.branchesThis = 0
+	m.linesThis = m.linesThis[:0]
+}
+
+func (m *machine) advanceCycle() {
+	m.fc++
+	m.resetFetch()
+}
+
+// fetchCycleFor computes the fetch cycle of the instruction at pc with
+// dynamic index i, advancing the front-end state: redirect gaps, window
+// occupancy gating, fetch width, branch-prediction bandwidth, and I-cache
+// line bandwidth and misses.
+func (m *machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
+	if m.redirectAt > m.fc {
+		m.fc = m.redirectAt
+		m.resetFetch()
+	}
+	m.redirectAt = 0
+
+	// Window gate: instruction i cannot rename before instruction
+	// i-WindowSize has retired.
+	if i >= uint64(m.cfg.WindowSize) {
+		gate := m.retRing[i%uint64(m.cfg.WindowSize)]
+		fl := uint64(m.cfg.FrontLatency)
+		if gate > m.fc+fl {
+			m.fc = gate - fl
+			m.resetFetch()
+		}
+	}
+
+	for {
+		if m.instsThis >= m.cfg.FetchWidth {
+			m.advanceCycle()
+			continue
+		}
+		if in.IsBranch() && m.branchesThis >= m.cfg.BranchesPerCycle {
+			m.advanceCycle()
+			continue
+		}
+		line := m.l1i.Line(pc)
+		if !containsLine(m.linesThis, line) {
+			if len(m.linesThis) >= m.cfg.ICacheLinesPerCyc {
+				m.advanceCycle()
+				continue
+			}
+			// Sequential next-line fills are covered by the
+			// front end's streaming prefetcher (the paper models
+			// "a very efficient trace cache"); only discontinuous
+			// fetches pay the miss penalty.
+			sequential := m.haveLine && line == m.lastLine+1
+			if !m.l1i.Access(pc) && !sequential {
+				m.fc += uint64(m.cfg.ICacheMissPenalty)
+				m.resetFetch()
+			}
+			m.lastLine = line
+			m.haveLine = true
+			m.linesThis = append(m.linesThis, line)
+		}
+		break
+	}
+	m.instsThis++
+	if in.IsBranch() {
+		m.branchesThis++
+	}
+	return m.fc
+}
+
+func containsLine(lines []uint64, l uint64) bool {
+	for _, x := range lines {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// retire assigns the in-order retirement cycle for an instruction
+// completing at complete, honouring retirement bandwidth.
+func (m *machine) retire(complete uint64) uint64 {
+	rc := complete
+	if rc < m.lastRet {
+		rc = m.lastRet
+	}
+	if rc == m.lastRet {
+		m.retCount++
+		if m.retCount > m.cfg.RetireWidth {
+			rc++
+			m.retCount = 1
+		}
+	} else {
+		m.retCount = 1
+	}
+	m.lastRet = rc
+	return rc
+}
+
+// redirect schedules a fetch redirect: the next instruction cannot fetch
+// before cycle at + RedirectPenalty.
+func (m *machine) redirect(at uint64) {
+	t := at + uint64(m.cfg.RedirectPenalty)
+	if t > m.redirectAt {
+		m.redirectAt = t
+	}
+}
+
+// execute models one fetched-and-retired primary instruction: scheduling,
+// branch prediction and redirects, microthread monitoring, and the
+// retirement-side structures (predictor training, PRB, Path Cache,
+// builder).
+func (m *machine) execute(rec *emu.Record, fc uint64) {
+	cfg := &m.cfg
+	in := rec.Inst
+
+	// Rename and operand readiness.
+	ready := fc + uint64(cfg.FrontLatency)
+	var buf [2]isa.Reg
+	n := in.ReadsInto(&buf)
+	for i := 0; i < n; i++ {
+		if r := buf[i]; r != isa.RZero && m.regReady[r] > ready {
+			ready = m.regReady[r]
+		}
+	}
+
+	// Issue and completion.
+	var complete uint64
+	switch {
+	case in.IsLoad():
+		issue := earliest2(m.fus, m.ports, ready)
+		complete = issue + uint64(m.msys.LoadLatency(rec.EA, issue))
+	case in.IsStore():
+		issue := m.fus.earliest(ready)
+		complete = issue + uint64(m.msys.StoreLatency(rec.EA, issue))
+	default:
+		issue := m.fus.earliest(ready)
+		complete = issue + uint64(isa.Latency(in.Op))
+	}
+	if dst, ok := in.Writes(); ok {
+		m.regReady[dst] = complete
+	}
+	retC := m.retire(complete)
+	m.retRing[rec.Seq%uint64(cfg.WindowSize)] = retC
+
+	// Path identity and scope must be taken before this branch enters
+	// the tracker, and retireSide (which may snapshot the tracker's
+	// branch history for the builder) must run before Observe.
+	var termID path.ID
+	var termScope int
+	if in.IsTerminatingBranch() {
+		termID = m.tracker.ID(rec.PC)
+		termScope = m.tracker.Scope(rec.PC)
+	}
+
+	var hwMiss bool
+	if in.IsBranch() {
+		hwMiss = m.handleBranch(rec, fc, complete, termID)
+	}
+
+	if cfg.Mode == ModeMicrothread {
+		m.monitorContexts(rec, fc)
+	}
+
+	m.retireSide(rec, retC, termID, termScope, hwMiss)
+
+	if rec.Taken {
+		m.tracker.Observe(path.TakenBranch{PC: rec.PC, Target: rec.NextPC, Seq: rec.Seq})
+		m.takenRing[m.takenCnt%takenRingSize] = rec.PC
+		m.takenCnt++
+	}
+}
+
+// handleBranch performs fetch-time prediction (hardware, oracle, or
+// microthread), resolves it against the actual outcome, and schedules any
+// redirect. It returns whether the hardware predictor mispredicted.
+func (m *machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.ID) bool {
+	cfg := &m.cfg
+	in := rec.Inst
+	pr := m.pred.Predict(rec.PC, in)
+	hwMiss := m.pred.Update(rec.PC, in, pr, rec.Taken, rec.NextPC)
+
+	hwNext := pr.Target
+	if in.IsCondBranch() && !pr.Taken {
+		hwNext = rec.PC + 1
+	}
+
+	if !in.IsTerminatingBranch() {
+		// Direct jumps and calls never mispredict; returns can (RAS
+		// exhaustion) and cost a full redirect.
+		if hwMiss {
+			m.redirect(resolve)
+		}
+		return hwMiss
+	}
+
+	m.res.Branches++
+	if hwMiss {
+		m.res.HWMispredicts++
+	}
+
+	next := hwNext
+	handled := false
+
+	switch cfg.Mode {
+	case ModePerfectAll:
+		next = rec.NextPC
+	case ModePerfectPromoted:
+		if m.promoted[termID] {
+			next = rec.NextPC
+		}
+	case ModeMicrothread:
+		if cfg.UsePredictions {
+			if e, ok := m.predCache.Consume(termID, rec.Seq); ok {
+				eNext := e.Target
+				if in.IsCondBranch() && !e.Taken {
+					eNext = rec.PC + 1
+				}
+				switch {
+				case e.Ready <= fc:
+					// Early: the prediction steers fetch in
+					// place of the hardware prediction.
+					m.res.Micro.Early++
+					m.res.Micro.UsedPredictions++
+					next = eNext
+					if eNext == rec.NextPC {
+						m.res.Micro.CorrectUsed++
+						if hwNext != rec.NextPC {
+							m.res.Micro.UsedFixed++
+							m.windowFixes++
+						}
+					} else {
+						m.res.Micro.WrongUsed++
+						if hwNext == rec.NextPC {
+							m.res.Micro.UsedBroke++
+						}
+					}
+				case e.Ready <= resolve:
+					// Late: fetch already used the hardware
+					// prediction; a differing microthread
+					// prediction initiates a recovery.
+					m.res.Micro.Late++
+					if eNext != hwNext {
+						switch {
+						case eNext == rec.NextPC:
+							// Genuine early recovery:
+							// redirect at delivery
+							// instead of resolution.
+							m.res.Micro.EarlyRecoveries++
+							m.windowFixes++
+							m.res.Mispredicts++
+							at := e.Ready
+							if at < fc {
+								at = fc
+							}
+							m.redirect(at)
+							handled = true
+						case hwNext == rec.NextPC:
+							// Bogus recovery: a correct
+							// hardware prediction was
+							// overridden; the machine
+							// discovers it at resolve.
+							m.res.Micro.BogusRecoveries++
+							m.res.Mispredicts++
+							m.redirect(resolve)
+							handled = true
+						default:
+							// Both wrong; resolution
+							// redirects as usual.
+							m.res.Mispredicts++
+							m.redirect(resolve)
+							handled = true
+						}
+					}
+				default:
+					// Useless: arrived after resolution.
+					m.res.Micro.Useless++
+				}
+			}
+		}
+	}
+
+	if !handled {
+		if next != rec.NextPC {
+			m.res.Mispredicts++
+			m.redirect(resolve)
+			if cfg.Mode == ModeMicrothread && cfg.WrongPathSpawns {
+				m.wrongPathSpawns(next, rec.Seq+1, fc)
+			}
+		}
+	}
+	return hwMiss
+}
+
+// retireSide models the back-end structures fed by the retirement stream:
+// value/address predictor training, the PRB, the Path Cache with its
+// promotion/demotion logic, and the Microthread Builder.
+func (m *machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termScope int, hwMiss bool) {
+	cfg := &m.cfg
+	in := rec.Inst
+
+	usesMicro := cfg.Mode == ModeMicrothread || cfg.Mode == ModePerfectPromoted
+	if !usesMicro {
+		return
+	}
+
+	// Train the value/address predictors, then snapshot confidence into
+	// the PRB entry (Section 4.2.5).
+	var vconf, aconf bool
+	if _, ok := in.Writes(); ok {
+		m.vp.Train(rec.PC, rec.DstVal, rec.Seq)
+		vconf = m.vp.Confident(rec.PC)
+	}
+	if in.IsLoad() {
+		m.ap.Train(rec.PC, rec.SrcVal[0], rec.Seq)
+		aconf = m.ap.Confident(rec.PC)
+	}
+	m.prb.Push(uthread.PRBEntry{Rec: *rec, VConfident: vconf, AConfident: aconf})
+
+	if !in.IsTerminatingBranch() || !m.tracker.Full() {
+		return
+	}
+
+	m.updateThrottle()
+
+	// Profile-guided promotions bypass the Path Cache's difficulty
+	// training entirely.
+	if m.prePromoted[termID] {
+		if cfg.Mode == ModeMicrothread && m.uram.Lookup(termID) == nil {
+			m.buildRoutine(rec, retC, termID, termScope, false)
+		}
+		return
+	}
+
+	ev := m.pathCache.Observe(termID, hwMiss)
+	switch {
+	case ev.Demote:
+		if cfg.Mode == ModePerfectPromoted {
+			delete(m.promoted, termID)
+		} else {
+			m.uram.Remove(termID)
+			delete(m.routineReady, termID)
+		}
+	case ev.Promote:
+		if cfg.Mode == ModePerfectPromoted {
+			if len(m.promoted) < cfg.MicroRAMEntries {
+				m.promoted[termID] = true
+				m.pathCache.SetPromoted(termID, true)
+			} else {
+				m.pathCache.SetPromoted(termID, false)
+			}
+			return
+		}
+		m.buildRoutine(rec, retC, termID, termScope, false)
+	default:
+		if cfg.Mode == ModeMicrothread && m.uram.NeedsRebuild(termID) {
+			m.buildRoutine(rec, retC, termID, termScope, true)
+		}
+	}
+}
+
+// updateThrottle advances the spawn-throttle feedback loop (future-work
+// extension): at the end of each window of retired terminating branches,
+// spawning is suspended for the next window when the yield — fixed
+// mispredictions per spawn — fell below the configured floor, and resumed
+// (to re-probe) after each suspended window.
+func (m *machine) updateThrottle() {
+	if !m.cfg.Throttle {
+		return
+	}
+	m.windowBranches++
+	if m.windowBranches < m.cfg.ThrottleWindow {
+		return
+	}
+	if m.throttled {
+		m.throttled = false // probe again next window
+	} else if m.windowSpawns >= 64 {
+		yield := float64(m.windowFixes) / float64(m.windowSpawns)
+		if yield < m.cfg.ThrottleMinYield {
+			m.throttled = true
+			m.res.Micro.ThrottledWindows++
+		}
+	}
+	m.windowBranches = 0
+	m.windowFixes = 0
+	m.windowSpawns = 0
+}
+
+// buildRoutine runs the Microthread Builder for the path that just
+// retired its terminating branch. The builder constructs one routine at a
+// time with a fixed latency; if it is busy the promotion request is
+// declined and will fire again on the path's next occurrence.
+func (m *machine) buildRoutine(rec *emu.Record, retC uint64, id path.ID, scope int, rebuild bool) {
+	if m.builderFreeAt > retC {
+		if !rebuild {
+			m.pathCache.SetPromoted(id, false)
+		}
+		return
+	}
+	// Snapshot the path's taken-branch history (the terminating branch
+	// has not been Observed yet at this point).
+	r := m.builder.Build(m.prb, rec.Seq, id, scope, m.tracker.Branches())
+	if r != nil && m.cfg.OnBuild != nil {
+		m.cfg.OnBuild(r)
+	}
+	if r == nil || !m.uram.Install(r) {
+		if !rebuild {
+			m.pathCache.SetPromoted(id, false)
+		}
+		return
+	}
+	m.builderFreeAt = retC + uint64(m.cfg.BuildLatency)
+	m.routineReady[id] = m.builderFreeAt
+	if rebuild {
+		m.res.Micro.Rebuilds++
+	} else {
+		m.pathCache.SetPromoted(id, true)
+	}
+}

@@ -1,0 +1,289 @@
+package cpu
+
+import (
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+	"dpbp/internal/pcache"
+	"dpbp/internal/uthread"
+)
+
+// takenRingSize bounds the front end's Path_History register; path
+// prefixes are at most N taken branches, far below this.
+const takenRingSize = 64
+
+// issueRec remembers a microthread instruction's booked resources so an
+// abort can refund the ones that have not executed yet.
+type issueRec struct {
+	cycle  uint64
+	isLoad bool
+}
+
+// mctx is one microcontext: the state of an active spawned microthread.
+type mctx struct {
+	active    bool
+	r         *uthread.Routine
+	spawnSeq  uint64
+	targetSeq uint64
+	expIdx    int
+	watch     map[isa.Addr]bool
+	issues    []issueRec
+	delivery  uint64
+	wrote     bool // a Prediction Cache entry was written for this spawn
+}
+
+// trySpawns attempts to spawn every routine whose spawn point is the
+// instruction about to be fetched at pc (sequence number seq, fetch cycle
+// fc). Spawns that cannot get a microcontext are dropped — the paper's
+// "aborted before allocating a microcontext" bucket.
+func (m *machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
+	cands := m.uram.SpawnCandidates(pc)
+	if len(cands) == 0 {
+		return
+	}
+	if m.throttled {
+		m.res.Micro.SkippedByThrottle += uint64(len(cands))
+		return
+	}
+	for _, r := range cands {
+		if m.routineReady[r.PathID] > fc {
+			continue // still being built
+		}
+		m.res.Micro.AttemptedSpawns++
+		// Path_History screen: this dynamic instance of the spawn PC
+		// is only on the routine's path if the most recent taken
+		// branches match the path prefix before the spawn point.
+		// Mismatches are aborted before a microcontext is allocated.
+		if m.cfg.AbortEnabled && !m.prefixMatches(r.PrefixTakens) {
+			m.res.Micro.NoContextDrops++
+			continue
+		}
+		ctx := m.freeContext()
+		if ctx == nil {
+			m.res.Micro.NoContextDrops++
+			continue
+		}
+		m.spawn(ctx, r, seq, fc)
+	}
+}
+
+// prefixMatches reports whether the front end's recent taken-branch
+// history ends with the given prefix.
+func (m *machine) prefixMatches(prefix []isa.Addr) bool {
+	n := uint64(len(prefix))
+	if n == 0 {
+		return true
+	}
+	if m.takenCnt < n {
+		return false
+	}
+	for i := uint64(0); i < n; i++ {
+		if m.takenRing[(m.takenCnt-n+i)%takenRingSize] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) freeContext() *mctx {
+	for i := range m.ctxs {
+		if !m.ctxs[i].active {
+			return &m.ctxs[i]
+		}
+	}
+	return nil
+}
+
+// spawn allocates a microcontext, functionally executes the routine
+// against the primary thread's architectural state at the spawn point, and
+// schedules its instructions through the shared execution resources.
+func (m *machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
+	m.res.Micro.Spawned++
+	m.windowSpawns++
+
+	// Functional execution against spawn-point state: the emulator has
+	// executed exactly the instructions before seq, which is the
+	// architectural state the paper's spawn-point selection guarantees.
+	env := &uthread.Env{
+		ReadReg: m.em.Reg,
+		LoadMem: m.em.Mem.Load,
+		PredictValue: func(pc isa.Addr, ahead int) (isa.Word, bool) {
+			return m.vp.Predict(pc, ahead)
+		},
+		PredictAddr: func(pc isa.Addr, ahead int) (isa.Word, bool) {
+			return m.ap.Predict(pc, ahead)
+		},
+	}
+	fr := uthread.Execute(r, env)
+	m.res.Micro.MicroInsts += uint64(fr.Executed)
+
+	// Timing: schedule the routine's instructions through the shared
+	// calendars. Live-ins (registers below isa.NumRegs never written
+	// in-routine) become ready when their primary-thread producers
+	// complete; microcontext temporaries chain internally.
+	start := fc + uint64(m.cfg.SpawnOverhead)
+	var localReady [uthread.MicroRegs]uint64
+	written := [uthread.MicroRegs]bool{}
+	issues := ctx.issues[:0]
+	loadIdx := 0
+	var complete uint64
+	var buf [2]isa.Reg
+	for idx, mi := range r.Insts {
+		in := mi.Inst
+		// Microcontext queues feed a bounded number of instructions
+		// into the machine per cycle.
+		ready := start + uint64(idx/m.cfg.InjectPerCycle)
+		n := in.ReadsInto(&buf)
+		for i := 0; i < n; i++ {
+			rg := buf[i]
+			if rg == isa.RZero {
+				continue
+			}
+			var t uint64
+			if written[rg] {
+				t = localReady[rg]
+			} else if rg < isa.NumRegs {
+				t = m.regReady[rg] // live-in from the primary thread
+			}
+			if t > ready {
+				ready = t
+			}
+		}
+		var issue uint64
+		switch {
+		case in.IsLoad():
+			issue = earliest2(m.fus, m.ports, ready)
+			ea := fr.LoadedEAs[loadIdx]
+			loadIdx++
+			complete = issue + uint64(m.msys.LoadLatency(ea, issue))
+			issues = append(issues, issueRec{cycle: issue, isLoad: true})
+		case in.Op == isa.OpVpInst || in.Op == isa.OpApInst:
+			issue = m.fus.earliest(ready)
+			complete = issue + 2 // predictor query
+			issues = append(issues, issueRec{cycle: issue})
+		default:
+			issue = m.fus.earliest(ready)
+			complete = issue + uint64(isa.Latency(in.Op))
+			issues = append(issues, issueRec{cycle: issue})
+		}
+		if dst, ok := in.Writes(); ok {
+			localReady[dst] = complete
+			written[dst] = true
+		}
+	}
+
+	targetSeq := seq + r.SeqDelta
+	*ctx = mctx{
+		active:    true,
+		r:         r,
+		spawnSeq:  seq,
+		targetSeq: targetSeq,
+		issues:    issues,
+		delivery:  complete,
+	}
+	if len(fr.LoadedEAs) > 0 {
+		ctx.watch = make(map[isa.Addr]bool, len(fr.LoadedEAs))
+		for _, ea := range fr.LoadedEAs {
+			ctx.watch[ea] = true
+		}
+	}
+
+	if m.cfg.UsePredictions {
+		m.predCache.Write(pcache.Entry{
+			PathID: r.PathID,
+			Seq:    targetSeq,
+			Taken:  fr.Taken,
+			Target: fr.Target,
+			Ready:  complete,
+		})
+		ctx.wrote = true
+	}
+}
+
+// wrongPathSpawns walks the instructions the front end would have fetched
+// down a mispredicted path — following fall-through and direct jumps and
+// calls, stopping at the first conditional or indirect branch (whose
+// wrong-path direction the model cannot know) — and performs spawn
+// attempts for them. The sequence numbers assigned approximate the
+// renamer's reassignment after recovery; the resulting contexts are
+// monitored against the correct-path stream and abort on its first
+// deviation from their expected path.
+func (m *machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
+	limit := m.cfg.RedirectPenalty * m.cfg.FetchWidth / 2
+	if limit > 64 {
+		limit = 64
+	}
+	pc := start
+	for i := 0; i < limit; i++ {
+		if !m.prog.Valid(pc) {
+			return
+		}
+		before := m.res.Micro.AttemptedSpawns
+		m.trySpawns(pc, seq, fc)
+		m.res.Micro.WrongPathAttempts += m.res.Micro.AttemptedSpawns - before
+
+		in := m.prog.At(pc)
+		switch {
+		case in.Op == isa.OpJmp, in.Op == isa.OpCall:
+			pc = in.Target
+		case in.IsBranch():
+			return // direction or target unknowable on the wrong path
+		default:
+			pc++
+		}
+	}
+}
+
+// monitorContexts advances every active microcontext past the fetched
+// instruction rec: memory-dependence violation detection, completion at
+// the target branch, and the Path_History abort check on taken branches.
+func (m *machine) monitorContexts(rec *emu.Record, fc uint64) {
+	for i := range m.ctxs {
+		ctx := &m.ctxs[i]
+		if !ctx.active || rec.Seq <= ctx.spawnSeq {
+			continue
+		}
+		if rec.Inst.IsStore() && ctx.watch[rec.EA] {
+			// The primary thread stored to an address the
+			// microthread read at spawn: the speculated memory
+			// state was stale. Rebuild the routine (Section 4.2.4);
+			// the stale prediction itself stays and simply risks
+			// being wrong.
+			m.res.Micro.MemDepViolations++
+			if m.cfg.RebuildOnViolation {
+				m.uram.MarkRebuild(ctx.r.PathID)
+			}
+		}
+		if rec.Seq >= ctx.targetSeq {
+			ctx.active = false
+			m.res.Micro.Completed++
+			continue
+		}
+		if m.cfg.AbortEnabled && rec.Inst.IsBranch() && rec.Taken {
+			if ctx.expIdx < len(ctx.r.ExpectedTakens) && ctx.r.ExpectedTakens[ctx.expIdx] == rec.PC {
+				ctx.expIdx++
+			} else {
+				m.abortContext(ctx, fc)
+			}
+		}
+	}
+}
+
+// abortContext reclaims a microcontext whose primary thread left the
+// predicted path: unexecuted instructions are refunded from the resource
+// calendars (instructions already in the window cannot be aborted, per
+// Section 4.3.2), and an undelivered prediction is cancelled.
+func (m *machine) abortContext(ctx *mctx, fc uint64) {
+	m.res.Micro.AbortedActive++
+	for _, ir := range ctx.issues {
+		if ir.cycle > fc {
+			m.fus.remove(ir.cycle)
+			if ir.isLoad {
+				m.ports.remove(ir.cycle)
+			}
+		}
+	}
+	if ctx.wrote && ctx.delivery > fc {
+		m.predCache.Remove(ctx.r.PathID, ctx.targetSeq)
+	}
+	ctx.active = false
+}

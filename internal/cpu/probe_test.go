@@ -1,0 +1,43 @@
+package cpu
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"dpbp/internal/synth"
+)
+
+func TestProbeMagnitudes(t *testing.T) {
+	if os.Getenv("DPBP_PROBE") == "" {
+		t.Skip("diagnostic probe; set DPBP_PROBE=1 to run")
+	}
+	for _, name := range []string{"comp", "gcc", "go", "ijpeg", "mcf_2k", "eon_2k", "bzip2_2k", "vortex"} {
+		p, _ := synth.ProfileByName(name)
+		prog := synth.Generate(p)
+		mk := func(mut func(*Config)) *Result {
+			cfg := DefaultConfig()
+			cfg.MaxInsts = 400_000
+			if mut != nil {
+				mut(&cfg)
+			}
+			return Run(prog, cfg)
+		}
+		base := mk(func(c *Config) { c.Mode = ModeBaseline })
+		perf := mk(func(c *Config) { c.Mode = ModePerfectAll })
+		pot := mk(func(c *Config) { c.Mode = ModePerfectPromoted })
+		noprune := mk(func(c *Config) { c.Pruning = false })
+		prune := mk(nil)
+		ovh := mk(func(c *Config) { c.UsePredictions = false; c.Pruning = false })
+		fmt.Printf("%-10s base=%.3f perf=%+.1f%% pot=%+.1f%% np=%+.1f%% pr=%+.1f%% ov=%+.1f%% | hwmr=%.1f%% mr(pr)=%.1f%%\n",
+			name, base.IPC(),
+			100*(perf.Speedup(base)-1), 100*(pot.Speedup(base)-1),
+			100*(noprune.Speedup(base)-1), 100*(prune.Speedup(base)-1), 100*(ovh.Speedup(base)-1),
+			100*base.MispredictRate(), 100*prune.MispredictRate())
+		fmt.Printf("           att=%d drop=%.0f%% activeAbort=%.0f%% | E/L/U=%d/%d/%d ok=%d wrong=%d eRec=%d bogus=%d fixed=%d broke=%d | size %.1f/%.1f chain %.1f/%.1f builds=%d\n",
+			prune.Micro.AttemptedSpawns, 100*prune.Micro.AbortPreFraction(), 100*prune.Micro.AbortActiveFraction(),
+			prune.Micro.Early, prune.Micro.Late, prune.Micro.Useless,
+			prune.Micro.CorrectUsed, prune.Micro.WrongUsed, prune.Micro.EarlyRecoveries, prune.Micro.BogusRecoveries, prune.Micro.UsedFixed, prune.Micro.UsedBroke,
+			noprune.AvgRoutineSize, prune.AvgRoutineSize, noprune.AvgDepChain, prune.AvgDepChain, prune.Build.Builds)
+	}
+}

@@ -1,0 +1,99 @@
+package cpu
+
+// Whole-suite regression test: every benchmark, all four machine modes,
+// asserting the invariant relations the paper's evaluation rests on.
+
+import (
+	"testing"
+
+	"dpbp/internal/synth"
+)
+
+func TestSuiteInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	for _, name := range synth.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := programOf(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(mode Mode) *Result {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.MaxInsts = 120_000
+				return Run(prog, cfg)
+			}
+			base := mk(ModeBaseline)
+			perf := mk(ModePerfectAll)
+			pot := mk(ModePerfectPromoted)
+			mech := mk(ModeMicrothread)
+
+			// All runs execute the same instruction stream.
+			for _, r := range []*Result{perf, pot, mech} {
+				if r.Insts != base.Insts || r.Branches != base.Branches {
+					t.Errorf("%s: stream diverged: %d/%d vs %d/%d",
+						r.Mode, r.Insts, r.Branches, base.Insts, base.Branches)
+				}
+			}
+
+			// Perfect prediction: no mispredictions, best IPC.
+			if perf.Mispredicts != 0 {
+				t.Errorf("perfect mode mispredicted %d", perf.Mispredicts)
+			}
+			if perf.IPC() < base.IPC() {
+				t.Errorf("perfect IPC %.3f below baseline %.3f", perf.IPC(), base.IPC())
+			}
+			if perf.IPC() < pot.IPC() {
+				t.Errorf("perfect IPC %.3f below potential %.3f", perf.IPC(), pot.IPC())
+			}
+
+			// Potential mode can only remove mispredictions.
+			if pot.Mispredicts > base.Mispredicts {
+				t.Errorf("potential added mispredictions: %d vs %d",
+					pot.Mispredicts, base.Mispredicts)
+			}
+			if pot.IPC() < base.IPC()*0.999 {
+				t.Errorf("potential IPC %.3f below baseline %.3f", pot.IPC(), base.IPC())
+			}
+
+			// The realistic mechanism: prediction accuracy must be
+			// high, and performance must never be catastrophically
+			// worse than baseline (the paper's worst case was a
+			// slight loss).
+			if mech.Micro.WrongUsed > mech.Micro.CorrectUsed {
+				t.Errorf("used predictions mostly wrong: %d vs %d",
+					mech.Micro.WrongUsed, mech.Micro.CorrectUsed)
+			}
+			if mech.IPC() < base.IPC()*0.90 {
+				t.Errorf("mechanism lost >10%%: %.3f vs %.3f", mech.IPC(), base.IPC())
+			}
+			// Bookkeeping consistency.
+			ms := mech.Micro
+			if ms.Spawned != ms.AttemptedSpawns-ms.NoContextDrops {
+				t.Errorf("spawn accounting broken: %+v", ms)
+			}
+			if ms.Completed+ms.AbortedActive > ms.Spawned {
+				t.Errorf("context accounting broken: %+v", ms)
+			}
+			if ms.UsedFixed > ms.CorrectUsed {
+				t.Errorf("fixed exceeds correct: %+v", ms)
+			}
+			if ms.UsedBroke > ms.WrongUsed {
+				t.Errorf("broke exceeds wrong: %+v", ms)
+			}
+			if ms.Early+ms.Late+ms.Useless > mech.PCache.Hits {
+				t.Errorf("timeliness categories exceed Prediction Cache hits: %+v vs %d",
+					ms, mech.PCache.Hits)
+			}
+			// The hardware predictor's view must agree between runs:
+			// the machine trains it identically in fetch order.
+			if mech.HWMispredicts == 0 && base.Mispredicts > 0 {
+				t.Error("hardware misprediction accounting lost")
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+// Package emu is the functional emulator: it executes a program
+// architecturally and produces the dynamic instruction stream consumed by
+// the predictors, the path machinery, and the timing core.
+//
+// The timing simulator is execution-driven: it steps the emulator as it
+// fetches down the correct path, so the emulator's register file and memory
+// always hold the architectural state at the current fetch point. That is
+// exactly the state a spawned microthread reads its live-ins from (the
+// spawn point is chosen so that all live-in dependences are satisfied
+// architecturally — Section 4.2.4 of the paper).
+package emu
+
+import (
+	"fmt"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/program"
+)
+
+// pageBits sizes memory pages: 4096 words per page.
+const pageBits = 12
+
+// Memory is a sparse, paged word-addressed data memory.
+type Memory struct {
+	pages map[isa.Addr]*[1 << pageBits]isa.Word
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[isa.Addr]*[1 << pageBits]isa.Word)}
+}
+
+// Load returns the word at addr (zero if never written).
+func (m *Memory) Load(addr isa.Addr) isa.Word {
+	pg, ok := m.pages[addr>>pageBits]
+	if !ok {
+		return 0
+	}
+	return pg[addr&(1<<pageBits-1)]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr isa.Addr, v isa.Word) {
+	pg, ok := m.pages[addr>>pageBits]
+	if !ok {
+		pg = new([1 << pageBits]isa.Word)
+		m.pages[addr>>pageBits] = pg
+	}
+	pg[addr&(1<<pageBits-1)] = v
+}
+
+// Record describes one retired dynamic instruction.
+type Record struct {
+	// Seq is the dynamic sequence number, starting at 0.
+	Seq uint64
+	// PC is the instruction's address.
+	PC isa.Addr
+	// Inst is the decoded instruction.
+	Inst isa.Inst
+	// NextPC is the architecturally correct next PC.
+	NextPC isa.Addr
+	// Taken reports whether a control-flow instruction redirected
+	// (conditional taken, or any jump/call/ret). Always false for
+	// non-branches.
+	Taken bool
+	// SrcVal holds the values of the source registers, in ReadsInto
+	// order.
+	SrcVal [2]isa.Word
+	// DstVal is the value written to the destination register, if any.
+	DstVal isa.Word
+	// EA is the effective address for loads and stores.
+	EA isa.Addr
+}
+
+// Machine is the architectural state of one running program.
+type Machine struct {
+	Prog *program.Program
+	Regs [isa.NumRegs]isa.Word
+	Mem  *Memory
+
+	pc     isa.Addr
+	seq    uint64
+	halted bool
+}
+
+// New creates a machine with the program loaded: data image installed,
+// SP/GP initialised by the program's own prologue, PC at the entry point.
+func New(p *program.Program) *Machine {
+	m := &Machine{Prog: p, Mem: NewMemory(), pc: p.Entry}
+	for i, w := range p.Data {
+		m.Mem.Store(p.DataBase+isa.Addr(i), w)
+	}
+	return m
+}
+
+// PC returns the address of the next instruction to execute.
+func (m *Machine) PC() isa.Addr { return m.pc }
+
+// Seq returns the sequence number the next Step will produce.
+func (m *Machine) Seq() uint64 { return m.seq }
+
+// Halted reports whether the program has reached its halt idiom
+// (an unconditional jump to itself).
+func (m *Machine) Halted() bool { return m.halted }
+
+// Reg returns the current value of r.
+func (m *Machine) Reg(r isa.Reg) isa.Word {
+	if r == isa.RZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// setReg writes r, discarding writes to RZero.
+func (m *Machine) setReg(r isa.Reg, v isa.Word) {
+	if r != isa.RZero {
+		m.Regs[r] = v
+	}
+}
+
+// Step executes one instruction and fills rec with its retirement record.
+// It returns false without executing anything when the machine is halted.
+// Step panics on structural errors (PC out of range, micro-instruction in
+// primary code); Program.Validate prevents both for generated programs.
+func (m *Machine) Step(rec *Record) bool {
+	if m.halted {
+		return false
+	}
+	if !m.Prog.Valid(m.pc) {
+		panic(fmt.Sprintf("emu: PC %d out of range in %q", m.pc, m.Prog.Name))
+	}
+	in := m.Prog.At(m.pc)
+
+	rec.Seq = m.seq
+	rec.PC = m.pc
+	rec.Inst = in
+	rec.Taken = false
+	rec.EA = 0
+	rec.DstVal = 0
+
+	var buf [2]isa.Reg
+	n := in.ReadsInto(&buf)
+	for i := 0; i < n; i++ {
+		rec.SrcVal[i] = m.Reg(buf[i])
+	}
+	for i := n; i < 2; i++ {
+		rec.SrcVal[i] = 0
+	}
+
+	next := m.pc + 1
+	switch {
+	case isa.IsALU(in.Op):
+		v := isa.EvalALU(in.Op, m.Reg(in.Src1), m.Reg(in.Src2), in.Imm)
+		m.setReg(in.Dst, v)
+		rec.DstVal = v
+
+	case in.Op == isa.OpLoad:
+		ea := isa.Addr(m.Reg(in.Src1) + in.Imm)
+		v := m.Mem.Load(ea)
+		m.setReg(in.Dst, v)
+		rec.EA = ea
+		rec.DstVal = v
+
+	case in.Op == isa.OpStore:
+		ea := isa.Addr(m.Reg(in.Src1) + in.Imm)
+		m.Mem.Store(ea, m.Reg(in.Src2))
+		rec.EA = ea
+
+	case in.IsCondBranch():
+		if isa.BranchTaken(in.Op, m.Reg(in.Src1), m.Reg(in.Src2)) {
+			next = in.Target
+			rec.Taken = true
+		}
+
+	case in.Op == isa.OpJmp:
+		next = in.Target
+		rec.Taken = true
+		if next == m.pc {
+			m.halted = true
+		}
+
+	case in.Op == isa.OpJmpInd:
+		next = isa.Addr(m.Reg(in.Src1))
+		rec.Taken = true
+
+	case in.Op == isa.OpCall:
+		m.setReg(isa.RRA, isa.Word(m.pc+1))
+		rec.DstVal = isa.Word(m.pc + 1)
+		next = in.Target
+		rec.Taken = true
+
+	case in.Op == isa.OpRet:
+		next = isa.Addr(m.Reg(in.Src1))
+		rec.Taken = true
+
+	default:
+		panic(fmt.Sprintf("emu: cannot execute %v at %d", in.Op, m.pc))
+	}
+
+	rec.NextPC = next
+	m.pc = next
+	m.seq++
+	return true
+}
+
+// Run executes up to maxInsts instructions, invoking visit for each record.
+// It stops early at halt or when visit returns false, and returns the
+// number of instructions executed.
+func (m *Machine) Run(maxInsts uint64, visit func(*Record) bool) uint64 {
+	var rec Record
+	var n uint64
+	for n < maxInsts {
+		if !m.Step(&rec) {
+			break
+		}
+		n++
+		if visit != nil && !visit(&rec) {
+			break
+		}
+	}
+	return n
+}

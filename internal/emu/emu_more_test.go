@@ -1,0 +1,112 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/program"
+)
+
+// TestStepMatchesEvalALU cross-checks the emulator's ALU execution against
+// isa.EvalALU over randomised operands for every ALU opcode.
+func TestStepMatchesEvalALU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for op := isa.OpAdd; op <= isa.OpSeqi; op++ {
+		for trial := 0; trial < 20; trial++ {
+			a := isa.Word(rng.Int63n(1<<32) - 1<<31)
+			bv := isa.Word(rng.Int63n(1<<16) + 1)
+			imm := isa.Word(rng.Int63n(63) + 1)
+
+			b := program.NewBuilder("alu")
+			b.Label("entry")
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: a})
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: bv})
+			b.Emit(isa.Inst{Op: op, Dst: 6, Src1: 4, Src2: 5, Imm: imm})
+			b.Label("halt")
+			b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+			m := New(b.Finish())
+			m.Run(10, nil)
+
+			want := isa.EvalALU(op, a, bv, imm)
+			if got := m.Reg(6); got != want {
+				t.Fatalf("%v(%d,%d,#%d): emu %d, EvalALU %d", op, a, bv, imm, got, want)
+			}
+		}
+	}
+}
+
+// TestCondBranchesMatchBranchTaken cross-checks branch execution.
+func TestCondBranchesMatchBranchTaken(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for op := isa.OpBeqz; op <= isa.OpBne; op++ {
+		for trial := 0; trial < 20; trial++ {
+			a := isa.Word(rng.Intn(5) - 2)
+			bv := isa.Word(rng.Intn(5) - 2)
+
+			b := program.NewBuilder("br")
+			b.Label("entry")
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: a})
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: bv})
+			b.EmitBranch(isa.Inst{Op: op, Src1: 4, Src2: 5}, "taken")
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 6, Imm: 0})
+			b.Label("halt1")
+			b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt1")
+			b.Label("taken")
+			b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 6, Imm: 1})
+			b.Label("halt2")
+			b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt2")
+			m := New(b.Finish())
+			m.Run(10, nil)
+
+			want := isa.Word(0)
+			if isa.BranchTaken(op, a, bv) {
+				want = 1
+			}
+			if got := m.Reg(6); got != want {
+				t.Fatalf("%v(%d,%d): path %d, BranchTaken wants %d", op, a, bv, got, want)
+			}
+		}
+	}
+}
+
+func TestPCOutOfRangePanics(t *testing.T) {
+	b := program.NewBuilder("escape")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: 9999})
+	b.Emit(isa.Inst{Op: isa.OpJmpInd, Src1: 4})
+	p := b.Finish()
+	m := New(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("escaped control flow did not panic")
+		}
+	}()
+	m.Run(10, nil)
+}
+
+func TestSeqMonotonicAcrossRuns(t *testing.T) {
+	b := program.NewBuilder("seq")
+	b.Label("entry")
+	for i := 0; i < 10; i++ {
+		b.Emit(isa.Inst{Op: isa.OpAddi, Dst: 4, Src1: 4, Imm: 1})
+	}
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	m := New(b.Finish())
+	m.Run(3, nil)
+	if m.Seq() != 3 {
+		t.Errorf("Seq = %d after 3 steps", m.Seq())
+	}
+	var last uint64
+	m.Run(5, func(r *Record) bool {
+		if r.Seq < 3 {
+			t.Errorf("seq restarted: %d", r.Seq)
+		}
+		last = r.Seq
+		return true
+	})
+	if last != 7 {
+		t.Errorf("last seq = %d, want 7", last)
+	}
+}

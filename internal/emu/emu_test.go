@@ -1,0 +1,224 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/program"
+)
+
+func TestMemory(t *testing.T) {
+	m := NewMemory()
+	if m.Load(12345) != 0 {
+		t.Error("fresh memory should read zero")
+	}
+	m.Store(12345, 42)
+	if m.Load(12345) != 42 {
+		t.Error("store/load roundtrip failed")
+	}
+	// Cross-page addresses are independent.
+	m.Store(1<<pageBits, 7)
+	if m.Load(0) != 0 {
+		t.Error("cross-page aliasing")
+	}
+}
+
+func TestMemoryRoundTripQuick(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v int64) bool {
+		m.Store(isa.Addr(addr), isa.Word(v))
+		return m.Load(isa.Addr(addr)) == isa.Word(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildCountdown builds: ldi r4,#n; loop: addi r4,r4,-1; bnez r4,loop;
+// store r4 -> mem[100]; halt.
+func buildCountdown(n int64) *program.Program {
+	b := program.NewBuilder("countdown")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: isa.Word(n)})
+	b.Label("loop")
+	b.Emit(isa.Inst{Op: isa.OpAddi, Dst: 4, Src1: 4, Imm: -1})
+	b.EmitBranch(isa.Inst{Op: isa.OpBnez, Src1: 4}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: 100})
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 5, Src2: 4})
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	return b.Finish()
+}
+
+func TestCountdownLoop(t *testing.T) {
+	m := New(buildCountdown(5))
+	var taken, notTaken int
+	n := m.Run(1000, func(r *Record) bool {
+		if r.Inst.Op == isa.OpBnez {
+			if r.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+		return true
+	})
+	if !m.Halted() {
+		t.Fatal("machine did not halt")
+	}
+	if taken != 4 || notTaken != 1 {
+		t.Errorf("bnez taken=%d notTaken=%d, want 4/1", taken, notTaken)
+	}
+	if m.Mem.Load(100) != 0 {
+		t.Errorf("final store value = %d, want 0", m.Mem.Load(100))
+	}
+	// 1 ldi + 5*(addi+bnez) + ldi + store + jmp = 14
+	if n != 14 {
+		t.Errorf("executed %d insts, want 14", n)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m := New(buildCountdown(1))
+	m.Run(1000, nil)
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	var rec Record
+	if m.Step(&rec) {
+		t.Error("Step after halt should return false")
+	}
+}
+
+func TestRunVisitorStops(t *testing.T) {
+	m := New(buildCountdown(1000000))
+	n := m.Run(1<<40, func(r *Record) bool { return r.Seq < 9 })
+	if n != 10 {
+		t.Errorf("run executed %d, want 10 (stop after seq 9)", n)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := program.NewBuilder("callret")
+	b.Label("entry")
+	b.EmitBranch(isa.Inst{Op: isa.OpCall}, "fn")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 10, Imm: 1})
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	b.Label("fn")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 11, Imm: 2})
+	b.Emit(isa.Inst{Op: isa.OpRet, Src1: isa.RRA})
+	p := b.Finish()
+
+	m := New(p)
+	var recs []Record
+	m.Run(100, func(r *Record) bool { recs = append(recs, *r); return true })
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	// call, fn ldi, ret, post-call ldi, jmp(halt)
+	if len(recs) != 5 {
+		t.Fatalf("executed %d insts, want 5: %v", len(recs), recs)
+	}
+	if recs[0].Inst.Op != isa.OpCall || !recs[0].Taken || recs[0].DstVal != 1 {
+		t.Errorf("call record wrong: %+v", recs[0])
+	}
+	if recs[2].Inst.Op != isa.OpRet || recs[2].NextPC != 1 {
+		t.Errorf("ret record wrong: %+v", recs[2])
+	}
+	if m.Reg(10) != 1 || m.Reg(11) != 2 {
+		t.Errorf("registers wrong: r10=%d r11=%d", m.Reg(10), m.Reg(11))
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	b := program.NewBuilder("ind")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: 4}) // address of target
+	b.Emit(isa.Inst{Op: isa.OpJmpInd, Src1: 4})
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: 99}) // skipped
+	b.Label("halt1")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt1")
+	b.Label("target")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: 7})
+	b.Label("halt2")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt2")
+	p := b.Finish()
+
+	m := New(p)
+	m.Run(100, nil)
+	if m.Reg(5) != 7 {
+		t.Errorf("r5 = %d, want 7 (indirect jump went wrong)", m.Reg(5))
+	}
+}
+
+func TestDataImageLoaded(t *testing.T) {
+	b := program.NewBuilder("data")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: 1000})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 5, Src1: 4, Imm: 2})
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	p := b.Finish()
+	p.DataBase = 1000
+	p.Data = []isa.Word{10, 20, 30}
+
+	m := New(p)
+	m.Run(100, nil)
+	if m.Reg(5) != 30 {
+		t.Errorf("r5 = %d, want 30 (data image not loaded)", m.Reg(5))
+	}
+}
+
+func TestRecordFields(t *testing.T) {
+	b := program.NewBuilder("rec")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 4, Imm: 500})
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: 5, Imm: -3})
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 4, Src2: 5, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 6, Src1: 4, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpAdd, Dst: 7, Src1: 5, Src2: 6})
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	p := b.Finish()
+
+	m := New(p)
+	var recs []Record
+	m.Run(100, func(r *Record) bool { recs = append(recs, *r); return true })
+
+	st := recs[2]
+	if st.EA != 501 || st.SrcVal[0] != 500 || st.SrcVal[1] != -3 {
+		t.Errorf("store record wrong: %+v", st)
+	}
+	ld := recs[3]
+	if ld.EA != 501 || ld.DstVal != -3 {
+		t.Errorf("load record wrong: %+v", ld)
+	}
+	add := recs[4]
+	if add.DstVal != -6 || add.SrcVal[0] != -3 || add.SrcVal[1] != -3 {
+		t.Errorf("add record wrong: %+v", add)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Errorf("seq %d at index %d", r.Seq, i)
+		}
+	}
+}
+
+func TestRZeroHardwired(t *testing.T) {
+	b := program.NewBuilder("rz")
+	b.Label("entry")
+	b.Emit(isa.Inst{Op: isa.OpLdi, Dst: isa.RZero, Imm: 42})
+	b.Emit(isa.Inst{Op: isa.OpAddi, Dst: 4, Src1: isa.RZero, Imm: 1})
+	b.Label("halt")
+	b.EmitBranch(isa.Inst{Op: isa.OpJmp}, "halt")
+	m := New(b.Finish())
+	m.Run(100, nil)
+	if m.Reg(isa.RZero) != 0 {
+		t.Error("write to RZero stuck")
+	}
+	if m.Reg(4) != 1 {
+		t.Errorf("r4 = %d, want 1 (RZero should read 0)", m.Reg(4))
+	}
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/program"
+)
+
+// AblationResult quantifies the design choices DESIGN.md calls out, each
+// as a geomean speed-up over the shared baseline across the selected
+// benchmarks.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Name    string
+	Speedup float64 // geomean over baseline
+}
+
+// ablationConfigs enumerates the studied variants. The first entry is the
+// paper's default mechanism.
+func ablationConfigs() []struct {
+	name string
+	mut  func(*cpu.Config)
+} {
+	return []struct {
+		name string
+		mut  func(*cpu.Config)
+	}{
+		{"default (paper)", func(c *cpu.Config) {}},
+		{"no pruning", func(c *cpu.Config) { c.Pruning = false }},
+		{"abort off", func(c *cpu.Config) { c.AbortEnabled = false }},
+		{"allocate-always Path Cache", func(c *cpu.Config) { c.PathCache.AllocateAlways = true }},
+		{"plain-LRU Path Cache", func(c *cpu.Config) { c.PathCache.PlainLRU = true }},
+		{"training interval 8", func(c *cpu.Config) { c.PathCache.TrainInterval = 8 }},
+		{"training interval 128", func(c *cpu.Config) { c.PathCache.TrainInterval = 128 }},
+		{"Prediction Cache 16", func(c *cpu.Config) { c.PCacheEntries = 16 }},
+		{"Prediction Cache unbounded", func(c *cpu.Config) { c.PCacheEntries = 64 << 10 }},
+		{"no rebuild on violation", func(c *cpu.Config) { c.RebuildOnViolation = false }},
+		{"spawn throttle on", func(c *cpu.Config) { c.Throttle = true }},
+		{"4 microcontexts", func(c *cpu.Config) { c.Microcontexts = 4 }},
+		{"64 microcontexts", func(c *cpu.Config) { c.Microcontexts = 64 }},
+		{"build latency 1000", func(c *cpu.Config) { c.BuildLatency = 1000 }},
+		{"wrong-path spawns on", func(c *cpu.Config) { c.WrongPathSpawns = true }},
+	}
+}
+
+// Ablations runs every variant across the selected benchmarks.
+func Ablations(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	progs, err := o.programs()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := ablationConfigs()
+
+	// Per-benchmark baselines, then each variant.
+	bases := make([]*cpu.Result, len(progs))
+	forEach(o, progs, func(i int, prog *program.Program) {
+		bases[i] = cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false))
+	})
+
+	res := &AblationResult{Rows: make([]AblationRow, len(cfgs))}
+	for ci, c := range cfgs {
+		speeds := make([]float64, len(progs))
+		ci, c := ci, c
+		forEach(o, progs, func(i int, prog *program.Program) {
+			cfg := timingConfig(o, cpu.ModeMicrothread, true, true)
+			c.mut(&cfg)
+			r := cpu.Run(prog, cfg)
+			speeds[i] = r.Speedup(bases[i])
+		})
+		res.Rows[ci] = AblationRow{Name: c.name, Speedup: geomean(speeds)}
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (a *AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablations: geomean speed-up over baseline (full mechanism variants)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%s\t%s\n", r.Name, pct(r.Speedup))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders labelled horizontal bars, scaled so the largest
+// magnitude fills width columns. Negative values grow leftward from the
+// axis with '-' marks; positive values grow rightward with '#'. Values
+// render with the given format verb (e.g. "%+.1f%%").
+func barChart(title string, labels []string, vals []float64, format string, width int) string {
+	if len(labels) != len(vals) || len(vals) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxMag := 0.0
+	maxLabel := 0
+	for i, v := range vals {
+		if m := abs(v); m > maxMag {
+			maxMag = m
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxMag == 0 {
+		maxMag = 1
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for i, v := range vals {
+		n := int(abs(v) / maxMag * float64(width))
+		if n == 0 && v != 0 {
+			n = 1
+		}
+		mark := "#"
+		if v < 0 {
+			mark = "-"
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %s\n", maxLabel, labels[i],
+			strings.Repeat(mark, n), fmt.Sprintf(format, v))
+	}
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

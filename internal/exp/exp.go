@@ -1,0 +1,111 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure in the paper's evaluation (Tables 1-2, Figures 6-9, and the
+// Section 1 perfect-prediction bound), each returning a result that
+// renders as an aligned text table shaped like the paper's.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/pathprof"
+	"dpbp/internal/program"
+	"dpbp/internal/synth"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Benchmarks selects the workloads; empty means all twenty.
+	Benchmarks []string
+	// TimingInsts bounds each timing run (default 400k).
+	TimingInsts uint64
+	// ProfileInsts bounds each functional profiling run (default 1M).
+	ProfileInsts uint64
+	// Parallelism bounds concurrent benchmark runs (default NumCPU).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = synth.Names()
+	}
+	if o.TimingInsts == 0 {
+		o.TimingInsts = 400_000
+	}
+	if o.ProfileInsts == 0 {
+		o.ProfileInsts = 1_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// programs generates the selected benchmarks, failing fast on bad names.
+func (o Options) programs() ([]*program.Program, error) {
+	progs := make([]*program.Program, len(o.Benchmarks))
+	for i, name := range o.Benchmarks {
+		p, err := synth.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = synth.Generate(p)
+	}
+	return progs, nil
+}
+
+// forEach runs fn for every selected benchmark, bounded-parallel, keeping
+// result order.
+func forEach(o Options, progs []*program.Program, fn func(i int, prog *program.Program)) {
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for i := range progs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i, progs[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// geomean returns the geometric mean of xs (1.0 for empty input).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	p := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(xs)))
+}
+
+// timingConfig builds the common Figure 6/7 machine configuration.
+func timingConfig(o Options, mode cpu.Mode, pruning, usePreds bool) cpu.Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Pruning = pruning
+	cfg.UsePredictions = usePreds
+	cfg.MaxInsts = o.TimingInsts
+	return cfg
+}
+
+// pct formats a speedup as a signed percentage.
+func pct(speedup float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*(speedup-1))
+}
+
+var profileConfig = func(o Options) pathprof.Config {
+	cfg := pathprof.DefaultConfig()
+	cfg.MaxInsts = o.ProfileInsts
+	return cfg
+}

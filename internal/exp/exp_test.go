@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns small options for test speed.
+func quick(benches ...string) Options {
+	return Options{Benchmarks: benches, TimingInsts: 120_000, ProfileInsts: 150_000}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Benchmarks) != 20 {
+		t.Errorf("default benchmarks = %d, want 20", len(o.Benchmarks))
+	}
+	if o.TimingInsts == 0 || o.ProfileInsts == 0 || o.Parallelism <= 0 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+}
+
+func TestBadBenchmarkName(t *testing.T) {
+	if _, err := Table1(quick("nope")); err == nil {
+		t.Error("Table1 accepted unknown benchmark")
+	}
+	if _, err := Figure6(quick("nope")); err == nil {
+		t.Error("Figure6 accepted unknown benchmark")
+	}
+	if _, err := RunFigure7Set(quick("nope")); err == nil {
+		t.Error("RunFigure7Set accepted unknown benchmark")
+	}
+	if _, err := Perfect(quick("nope")); err == nil {
+		t.Error("Perfect accepted unknown benchmark")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	r, err := Table1(quick("comp", "li"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0].Bench != "comp" {
+		t.Fatalf("rows wrong: %+v", r.Rows)
+	}
+	s := r.String()
+	for _, want := range []string{"Table 1", "comp", "li", "n=4", "n=16", "Average"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	r, err := Table2(quick("go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"Table 2", "T = 0.05", "T = 0.15", "go", "Average"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure6Render(t *testing.T) {
+	r, err := Figure6(quick("comp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.BaselineIPC <= 0 {
+		t.Error("baseline IPC missing")
+	}
+	for _, n := range PathLengths {
+		if row.SpeedupByN[n] <= 0 {
+			t.Errorf("n=%d speedup missing", n)
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 6") || !strings.Contains(r.String(), "Geomean") {
+		t.Error("render malformed")
+	}
+}
+
+func TestFigure789SharedRuns(t *testing.T) {
+	runs, err := RunFigure7Set(quick("comp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	r := runs[0]
+	if r.Base == nil || r.NoPrune == nil || r.Prune == nil || r.Overhead == nil {
+		t.Fatal("missing runs")
+	}
+	f7 := &Figure7Result{Runs: runs}
+	s := f7.String()
+	for _, want := range []string{"Figure 7", "no-pruning", "overhead-only", "Geomean", "microcontext"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig7 render missing %q:\n%s", want, s)
+		}
+	}
+	f8 := Figure8FromRuns(runs)
+	if !strings.Contains(f8.String(), "Figure 8") {
+		t.Error("fig8 render malformed")
+	}
+	f9 := Figure9FromRuns(runs)
+	if !strings.Contains(f9.String(), "Figure 9") {
+		t.Error("fig9 render malformed")
+	}
+}
+
+func TestPerfect(t *testing.T) {
+	r, err := Perfect(quick("comp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0].Speedup <= 1 {
+		t.Errorf("perfect speedup %.2f <= 1", r.Rows[0].Speedup)
+	}
+	if r.GeomeanSpeedup <= 1 {
+		t.Errorf("geomean %.2f <= 1", r.GeomeanSpeedup)
+	}
+	if !strings.Contains(r.String(), "perfect IPC") {
+		t.Error("render malformed")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean(nil); g != 1 {
+		t.Errorf("geomean(nil) = %f", g)
+	}
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %f, want 4", g)
+	}
+	if g := geomean([]float64{1, -1}); g != 0 {
+		t.Errorf("geomean with nonpositive = %f, want 0", g)
+	}
+}
+
+func TestParallelismDeterminism(t *testing.T) {
+	o1 := quick("comp", "li", "perl")
+	o1.Parallelism = 1
+	o3 := quick("comp", "li", "perl")
+	o3.Parallelism = 3
+	a, err := Figure6(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure6(o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Bench != b.Rows[i].Bench || a.Rows[i].BaselineIPC != b.Rows[i].BaselineIPC {
+			t.Errorf("parallel results diverge at %d: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestProfileGuidedExperiment(t *testing.T) {
+	r, err := ProfileGuided(quick("vortex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.GuidedPaths == 0 {
+		t.Error("no guided paths found")
+	}
+	if row.DynamicSpeedup <= 0 || row.GuidedSpeedup <= 0 {
+		t.Errorf("speedups missing: %+v", row)
+	}
+	s := r.String()
+	if !strings.Contains(s, "profile-guided") || !strings.Contains(s, "Geomean") {
+		t.Errorf("render malformed:\n%s", s)
+	}
+}
+
+func TestAblationsExperiment(t *testing.T) {
+	o := quick("comp")
+	o.TimingInsts = 60_000
+	r, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(ablationConfigs()) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", row.Name, row.Speedup)
+		}
+	}
+	if !strings.Contains(r.String(), "Ablations") {
+		t.Error("render malformed")
+	}
+	if r.Rows[0].Name != "default (paper)" {
+		t.Error("first row should be the paper default")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := barChart("title", []string{"a", "bb"}, []float64{10, -5}, "%+.1f", 20)
+	if !strings.Contains(s, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, strings.Repeat("#", 20)) {
+		t.Error("max bar not full width")
+	}
+	if !strings.Contains(s, "----------") {
+		t.Error("negative bar missing")
+	}
+	if !strings.Contains(s, "+10.0") || !strings.Contains(s, "-5.0") {
+		t.Error("values missing")
+	}
+	if barChart("t", []string{"a"}, nil, "%f", 10) != "" {
+		t.Error("mismatched input should render empty")
+	}
+	// All-zero values must not divide by zero.
+	if s := barChart("t", []string{"a"}, []float64{0}, "%.0f", 10); !strings.Contains(s, "a") {
+		t.Error("zero-value chart broken")
+	}
+}

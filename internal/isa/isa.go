@@ -1,0 +1,400 @@
+// Package isa defines the tiny register instruction set executed by the
+// simulator substrate.
+//
+// The ISA is deliberately minimal: a load/store machine with 64 integer
+// registers, word-addressed instruction memory, conditional branches,
+// indirect jumps, and calls/returns. It also defines the three
+// micro-instructions from the paper — Store_PCache, Vp_Inst, and Ap_Inst —
+// which appear only inside dynamically constructed microthread routines,
+// never in primary-thread programs.
+package isa
+
+import "fmt"
+
+// Reg names an architectural integer register. R0 is hardwired to zero, as
+// on Alpha ($31) and MIPS. NumRegs includes R0.
+type Reg uint8
+
+// Register-file size and conventional registers.
+const (
+	NumRegs = 64
+
+	// RZero always reads as zero; writes are discarded.
+	RZero Reg = 0
+	// RSP is the conventional stack pointer used by synthetic programs.
+	RSP Reg = 1
+	// RRA is the conventional return-address register.
+	RRA Reg = 2
+	// RGP is the conventional global pointer (base of static data).
+	RGP Reg = 3
+	// FirstGPR is the first register free for allocation by the
+	// synthetic program generator.
+	FirstGPR Reg = 4
+)
+
+// Addr is an instruction or data address. Instruction memory is
+// word-addressed: the instruction at Addr a is program.Code[a].
+type Addr uint64
+
+// Word is the machine word: all registers and memory cells hold one Word.
+type Word int64
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. The groups matter: helpers such as IsBranch and Writes switch on
+// contiguous ranges, so keep the declaration order intact.
+const (
+	OpInvalid Op = iota
+
+	// ALU register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSlt // set-less-than: Dst = (Src1 < Src2)
+	OpSeq // set-equal: Dst = (Src1 == Src2)
+
+	// ALU register-immediate (Src2 unused, Imm used).
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSlti
+	OpSeqi
+
+	// OpLdi loads a constant: Dst = Imm.
+	OpLdi
+	// OpMov copies a register: Dst = Src1.
+	OpMov
+
+	// Memory. Effective address = Src1 + Imm. OpLoad writes Dst;
+	// OpStore reads Src2 as the stored value.
+	OpLoad
+	OpStore
+
+	// Control flow. Conditional branches test Src1 against zero (or
+	// Src1 vs Src2 for OpBeq/OpBne) and go to Target when taken.
+	OpBeqz
+	OpBnez
+	OpBltz
+	OpBgez
+	OpBeq
+	OpBne
+
+	// OpJmp is an unconditional direct jump to Target.
+	OpJmp
+	// OpJmpInd jumps to the address in Src1 (switch tables).
+	OpJmpInd
+	// OpCall jumps to Target and writes the return address into RRA.
+	OpCall
+	// OpRet jumps to the address in Src1 (conventionally RRA).
+	OpRet
+
+	// Micro-instructions (microthread routines only).
+
+	// OpStorePCache delivers a pre-computed branch outcome to the
+	// Prediction Cache. Src1 holds the computed condition, Src2 the
+	// computed target (for indirect terminating branches).
+	OpStorePCache
+	// OpVpInst queries the value predictor and writes the predicted
+	// value into Dst, replacing a pruned computation sub-tree.
+	OpVpInst
+	// OpApInst queries the address predictor and writes the predicted
+	// address base into Dst for a pruned load.
+	OpApInst
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid:     "invalid",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpAnd:         "and",
+	OpOr:          "or",
+	OpXor:         "xor",
+	OpShl:         "shl",
+	OpShr:         "shr",
+	OpSlt:         "slt",
+	OpSeq:         "seq",
+	OpAddi:        "addi",
+	OpMuli:        "muli",
+	OpAndi:        "andi",
+	OpOri:         "ori",
+	OpXori:        "xori",
+	OpShli:        "shli",
+	OpShri:        "shri",
+	OpSlti:        "slti",
+	OpSeqi:        "seqi",
+	OpLdi:         "ldi",
+	OpMov:         "mov",
+	OpLoad:        "load",
+	OpStore:       "store",
+	OpBeqz:        "beqz",
+	OpBnez:        "bnez",
+	OpBltz:        "bltz",
+	OpBgez:        "bgez",
+	OpBeq:         "beq",
+	OpBne:         "bne",
+	OpJmp:         "jmp",
+	OpJmpInd:      "jmpind",
+	OpCall:        "call",
+	OpRet:         "ret",
+	OpStorePCache: "st.pcache",
+	OpVpInst:      "vp.inst",
+	OpApInst:      "ap.inst",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Inst is one decoded instruction. Instructions are fixed-format: not every
+// field is meaningful for every opcode (see the Op documentation).
+type Inst struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    Word
+	Target Addr
+}
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (in Inst) IsBranch() bool {
+	return in.Op >= OpBeqz && in.Op <= OpRet
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	return in.Op >= OpBeqz && in.Op <= OpBne
+}
+
+// IsIndirect reports whether the instruction's target comes from a register.
+func (in Inst) IsIndirect() bool {
+	return in.Op == OpJmpInd || in.Op == OpRet
+}
+
+// IsTerminatingBranch reports whether the instruction can terminate a path
+// in the sense of Section 3 of the paper: a conditional or indirect branch.
+func (in Inst) IsTerminatingBranch() bool {
+	return in.IsCondBranch() || in.Op == OpJmpInd
+}
+
+// IsCall reports whether the instruction is a call.
+func (in Inst) IsCall() bool { return in.Op == OpCall }
+
+// IsReturn reports whether the instruction is a return.
+func (in Inst) IsReturn() bool { return in.Op == OpRet }
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Inst) IsLoad() bool { return in.Op == OpLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Inst) IsStore() bool { return in.Op == OpStore }
+
+// IsMicro reports whether the instruction is one of the three
+// micro-instructions that exist only inside microthread routines.
+func (in Inst) IsMicro() bool {
+	return in.Op == OpStorePCache || in.Op == OpVpInst || in.Op == OpApInst
+}
+
+// Writes returns the destination register and whether the instruction
+// writes one. Writes to RZero are reported as no write.
+func (in Inst) Writes() (Reg, bool) {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSeq,
+		OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti, OpSeqi,
+		OpLdi, OpMov, OpLoad, OpVpInst, OpApInst:
+		if in.Dst == RZero {
+			return 0, false
+		}
+		return in.Dst, true
+	case OpCall:
+		return RRA, true
+	}
+	return 0, false
+}
+
+// Reads returns the source registers read by the instruction. The result
+// slice is freshly allocated on each call; hot paths should use ReadsInto.
+func (in Inst) Reads() []Reg {
+	var buf [2]Reg
+	n := in.ReadsInto(&buf)
+	out := make([]Reg, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// ReadsInto stores the source registers read by the instruction into buf
+// and returns how many there are (0, 1, or 2). Reads of RZero are included;
+// callers that treat R0 as constant must filter it themselves.
+func (in Inst) ReadsInto(buf *[2]Reg) int {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSeq,
+		OpBeq, OpBne:
+		buf[0], buf[1] = in.Src1, in.Src2
+		return 2
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti, OpSeqi,
+		OpMov, OpLoad, OpBeqz, OpBnez, OpBltz, OpBgez, OpJmpInd, OpRet:
+		buf[0] = in.Src1
+		return 1
+	case OpStore:
+		buf[0], buf[1] = in.Src1, in.Src2
+		return 2
+	case OpStorePCache:
+		buf[0], buf[1] = in.Src1, in.Src2
+		return 2
+	case OpLdi, OpJmp, OpCall, OpVpInst, OpApInst:
+		return 0
+	}
+	return 0
+}
+
+// String renders the instruction in assembly-like form.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSeq:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.Src1, in.Src2)
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti, OpSeqi:
+		return fmt.Sprintf("%s r%d, r%d, #%d", in.Op, in.Dst, in.Src1, in.Imm)
+	case OpLdi:
+		return fmt.Sprintf("ldi r%d, #%d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Dst, in.Src1)
+	case OpLoad:
+		return fmt.Sprintf("load r%d, %d(r%d)", in.Dst, in.Imm, in.Src1)
+	case OpStore:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Src2, in.Imm, in.Src1)
+	case OpBeqz, OpBnez, OpBltz, OpBgez:
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Src1, in.Target)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Src1, in.Src2, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case OpJmpInd:
+		return fmt.Sprintf("jmpind r%d", in.Src1)
+	case OpCall:
+		return fmt.Sprintf("call @%d", in.Target)
+	case OpRet:
+		return fmt.Sprintf("ret r%d", in.Src1)
+	case OpStorePCache:
+		return fmt.Sprintf("st.pcache r%d, r%d", in.Src1, in.Src2)
+	case OpVpInst:
+		return fmt.Sprintf("vp.inst r%d, ahead=%d", in.Dst, in.Imm)
+	case OpApInst:
+		return fmt.Sprintf("ap.inst r%d, ahead=%d", in.Dst, in.Imm)
+	}
+	return in.Op.String()
+}
+
+// EvalALU computes the result of an ALU operation. It panics on non-ALU
+// opcodes; callers dispatch on opcode class first.
+func EvalALU(op Op, a, b, imm Word) Word {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << uint(b&63)
+	case OpShr:
+		return Word(uint64(a) >> uint(b&63))
+	case OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpSeq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case OpAddi:
+		return a + imm
+	case OpMuli:
+		return a * imm
+	case OpAndi:
+		return a & imm
+	case OpOri:
+		return a | imm
+	case OpXori:
+		return a ^ imm
+	case OpShli:
+		return a << uint(imm&63)
+	case OpShri:
+		return Word(uint64(a) >> uint(imm&63))
+	case OpSlti:
+		if a < imm {
+			return 1
+		}
+		return 0
+	case OpSeqi:
+		if a == imm {
+			return 1
+		}
+		return 0
+	case OpLdi:
+		return imm
+	case OpMov:
+		return a
+	}
+	panic(fmt.Sprintf("isa: EvalALU on non-ALU op %v", op))
+}
+
+// IsALU reports whether op is handled by EvalALU.
+func IsALU(op Op) bool {
+	return (op >= OpAdd && op <= OpSeqi) || op == OpLdi || op == OpMov
+}
+
+// BranchTaken evaluates a conditional branch condition. It panics on
+// non-conditional opcodes.
+func BranchTaken(op Op, a, b Word) bool {
+	switch op {
+	case OpBeqz:
+		return a == 0
+	case OpBnez:
+		return a != 0
+	case OpBltz:
+		return a < 0
+	case OpBgez:
+		return a >= 0
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	}
+	panic(fmt.Sprintf("isa: BranchTaken on non-conditional op %v", op))
+}
+
+// Latency returns the execution latency of op in cycles, excluding memory
+// access time for loads (the cache model adds that).
+func Latency(op Op) int {
+	switch op {
+	case OpMul, OpMuli:
+		return 3
+	default:
+		return 1
+	}
+}

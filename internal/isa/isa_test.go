@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" {
+		t.Errorf("OpAdd.String() = %q, want add", OpAdd.String())
+	}
+	if OpStorePCache.String() != "st.pcache" {
+		t.Errorf("OpStorePCache.String() = %q", OpStorePCache.String())
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("out-of-range op String = %q", got)
+	}
+	// Every real opcode has a non-empty name.
+	for op := OpAdd; op < numOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		in                                  Inst
+		branch, cond, indirect, term, micro bool
+	}{
+		{Inst{Op: OpAdd}, false, false, false, false, false},
+		{Inst{Op: OpBeqz}, true, true, false, true, false},
+		{Inst{Op: OpBne}, true, true, false, true, false},
+		{Inst{Op: OpJmp}, true, false, false, false, false},
+		{Inst{Op: OpJmpInd}, true, false, true, true, false},
+		{Inst{Op: OpCall}, true, false, false, false, false},
+		{Inst{Op: OpRet}, true, false, true, false, false},
+		{Inst{Op: OpStorePCache}, false, false, false, false, true},
+		{Inst{Op: OpVpInst}, false, false, false, false, true},
+		{Inst{Op: OpApInst}, false, false, false, false, true},
+		{Inst{Op: OpLoad}, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.in.IsBranch() != c.branch {
+			t.Errorf("%v IsBranch = %v, want %v", c.in.Op, c.in.IsBranch(), c.branch)
+		}
+		if c.in.IsCondBranch() != c.cond {
+			t.Errorf("%v IsCondBranch = %v, want %v", c.in.Op, c.in.IsCondBranch(), c.cond)
+		}
+		if c.in.IsIndirect() != c.indirect {
+			t.Errorf("%v IsIndirect = %v, want %v", c.in.Op, c.in.IsIndirect(), c.indirect)
+		}
+		if c.in.IsTerminatingBranch() != c.term {
+			t.Errorf("%v IsTerminatingBranch = %v, want %v", c.in.Op, c.in.IsTerminatingBranch(), c.term)
+		}
+		if c.in.IsMicro() != c.micro {
+			t.Errorf("%v IsMicro = %v, want %v", c.in.Op, c.in.IsMicro(), c.micro)
+		}
+	}
+}
+
+func TestWrites(t *testing.T) {
+	if r, ok := (Inst{Op: OpAdd, Dst: 5}).Writes(); !ok || r != 5 {
+		t.Errorf("add writes = %d,%v", r, ok)
+	}
+	if _, ok := (Inst{Op: OpAdd, Dst: RZero}).Writes(); ok {
+		t.Error("write to RZero should report no write")
+	}
+	if r, ok := (Inst{Op: OpCall}).Writes(); !ok || r != RRA {
+		t.Errorf("call writes = %d,%v, want RRA", r, ok)
+	}
+	if _, ok := (Inst{Op: OpStore}).Writes(); ok {
+		t.Error("store should not write a register")
+	}
+	if _, ok := (Inst{Op: OpBeqz}).Writes(); ok {
+		t.Error("branch should not write a register")
+	}
+	if r, ok := (Inst{Op: OpVpInst, Dst: 7}).Writes(); !ok || r != 7 {
+		t.Errorf("vp.inst writes = %d,%v", r, ok)
+	}
+}
+
+func TestReads(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAdd, Src1: 1, Src2: 2}, []Reg{1, 2}},
+		{Inst{Op: OpAddi, Src1: 3}, []Reg{3}},
+		{Inst{Op: OpLdi}, nil},
+		{Inst{Op: OpStore, Src1: 4, Src2: 5}, []Reg{4, 5}},
+		{Inst{Op: OpBeqz, Src1: 6}, []Reg{6}},
+		{Inst{Op: OpBeq, Src1: 6, Src2: 7}, []Reg{6, 7}},
+		{Inst{Op: OpJmp}, nil},
+		{Inst{Op: OpCall}, nil},
+		{Inst{Op: OpRet, Src1: RRA}, []Reg{RRA}},
+		{Inst{Op: OpStorePCache, Src1: 8, Src2: 9}, []Reg{8, 9}},
+		{Inst{Op: OpVpInst, Dst: 10}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.Reads()
+		if len(got) != len(c.want) {
+			t.Errorf("%v Reads = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v Reads = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestReadsMatchesReadsInto(t *testing.T) {
+	f := func(op uint8, s1, s2 uint8) bool {
+		in := Inst{Op: Op(op % uint8(numOps)), Src1: Reg(s1 % NumRegs), Src2: Reg(s2 % NumRegs)}
+		var buf [2]Reg
+		n := in.ReadsInto(&buf)
+		rs := in.Reads()
+		if len(rs) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if rs[i] != buf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, i Word
+		want    Word
+	}{
+		{OpAdd, 2, 3, 0, 5},
+		{OpSub, 2, 3, 0, -1},
+		{OpMul, 4, -3, 0, -12},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpShl, 1, 4, 0, 16},
+		{OpShr, -1, 60, 0, 15},
+		{OpSlt, -5, 0, 0, 1},
+		{OpSlt, 5, 0, 0, 0},
+		{OpSeq, 7, 7, 0, 1},
+		{OpSeq, 7, 8, 0, 0},
+		{OpAddi, 10, 0, -3, 7},
+		{OpMuli, 10, 0, 3, 30},
+		{OpAndi, 0xFF, 0, 0x0F, 0x0F},
+		{OpOri, 0xF0, 0, 0x0F, 0xFF},
+		{OpXori, 0xFF, 0, 0x0F, 0xF0},
+		{OpShli, 3, 0, 2, 12},
+		{OpShri, 16, 0, 2, 4},
+		{OpSlti, 1, 0, 2, 1},
+		{OpSeqi, 2, 0, 2, 1},
+		{OpLdi, 99, 99, 42, 42},
+		{OpMov, 13, 99, 99, 13},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.i); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.i, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalALU(OpLoad) did not panic")
+		}
+	}()
+	EvalALU(OpLoad, 0, 0, 0)
+}
+
+func TestIsALUCoversEvalALU(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if IsALU(op) {
+			// Must not panic.
+			EvalALU(op, 1, 2, 3)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Word
+		want bool
+	}{
+		{OpBeqz, 0, 0, true},
+		{OpBeqz, 1, 0, false},
+		{OpBnez, 1, 0, true},
+		{OpBnez, 0, 0, false},
+		{OpBltz, -1, 0, true},
+		{OpBltz, 0, 0, false},
+		{OpBgez, 0, 0, true},
+		{OpBgez, -1, 0, false},
+		{OpBeq, 4, 4, true},
+		{OpBeq, 4, 5, false},
+		{OpBne, 4, 5, true},
+		{OpBne, 4, 4, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBranchTakenPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTaken(OpAdd) did not panic")
+		}
+	}()
+	BranchTaken(OpAdd, 0, 0)
+}
+
+func TestShiftAmountsMasked(t *testing.T) {
+	// Shift counts are masked to 6 bits; huge counts must not panic.
+	if got := EvalALU(OpShl, 1, 64, 0); got != 1 {
+		t.Errorf("shl by 64 = %d, want 1 (masked to 0)", got)
+	}
+	if got := EvalALU(OpShri, 8, 0, 67); got != 1 {
+		t.Errorf("shri by 67 = %d, want 1 (masked to 3)", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if Latency(OpMul) != 3 || Latency(OpMuli) != 3 {
+		t.Error("mul latency should be 3")
+	}
+	if Latency(OpAdd) != 1 || Latency(OpLoad) != 1 {
+		t.Error("default latency should be 1")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Smoke-test every opcode's formatting; none should fall through to
+	// the bare mnemonic except flow-less ops.
+	for op := OpAdd; op < numOps; op++ {
+		in := Inst{Op: op, Dst: 4, Src1: 5, Src2: 6, Imm: 7, Target: 8}
+		if in.String() == "" {
+			t.Errorf("empty String for %v", op)
+		}
+	}
+	if got := (Inst{Op: OpLoad, Dst: 4, Src1: 5, Imm: 16}).String(); got != "load r4, 16(r5)" {
+		t.Errorf("load string = %q", got)
+	}
+}

@@ -1,0 +1,111 @@
+package pathcache
+
+// Reference-model property test: a direct-mapped-on-paths oracle with
+// unbounded capacity tracks difficulty per path; the real Path Cache must
+// agree with it whenever the path was never evicted (we force that by
+// using few paths relative to capacity).
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpbp/internal/path"
+)
+
+// refEntry mirrors the training-interval state machine.
+type refEntry struct {
+	occ, mis  int
+	difficult bool
+}
+
+func TestMatchesReferenceModelWithoutEvictions(t *testing.T) {
+	cfg := Config{Entries: 256, Ways: 8, TrainInterval: 8, Threshold: 0.10}
+	c := New(cfg)
+	ref := map[path.ID]*refEntry{}
+	allocated := map[path.ID]bool{}
+	rng := rand.New(rand.NewSource(17))
+
+	const nPaths = 16 // far below capacity: no evictions possible
+	for step := 0; step < 20_000; step++ {
+		id := path.ID(rng.Intn(nPaths) + 1)
+		// Per-path misprediction probability: id 1..8 hard, rest easy.
+		miss := rng.Float64() < map[bool]float64{true: 0.5, false: 0.01}[id <= 8]
+
+		c.Observe(id, miss)
+
+		// Reference: allocate-on-mispredict, then interval training.
+		e := ref[id]
+		if e == nil {
+			if !miss {
+				continue
+			}
+			e = &refEntry{}
+			ref[id] = e
+			allocated[id] = true
+		}
+		e.occ++
+		if miss {
+			e.mis++
+		}
+		if e.occ >= cfg.TrainInterval {
+			e.difficult = float64(e.mis)/float64(e.occ) > cfg.Threshold
+			e.occ, e.mis = 0, 0
+		}
+
+		if c.Difficult(id) != e.difficult {
+			t.Fatalf("step %d id %d: cache difficult=%v, reference %v",
+				step, id, c.Difficult(id), e.difficult)
+		}
+	}
+
+	// Sanity: the hard paths ended difficult, the easy ones not.
+	for id := path.ID(1); id <= 8; id++ {
+		if !c.Difficult(id) {
+			t.Errorf("hard path %d not difficult at end", id)
+		}
+	}
+	easyDifficult := 0
+	for id := path.ID(9); id <= nPaths; id++ {
+		if c.Difficult(id) {
+			easyDifficult++
+		}
+	}
+	if easyDifficult > 2 {
+		t.Errorf("%d easy paths classified difficult", easyDifficult)
+	}
+	if c.Stats.Replacements != 0 {
+		t.Fatalf("evictions occurred (%d); the reference comparison is invalid",
+			c.Stats.Replacements)
+	}
+}
+
+func TestCapacityPressureEvictsEasyFirst(t *testing.T) {
+	// With heavy path pressure, difficult entries should survive at a
+	// higher rate than easy ones.
+	cfg := Config{Entries: 64, Ways: 4, TrainInterval: 8, Threshold: 0.10}
+	c := New(cfg)
+	rng := rand.New(rand.NewSource(23))
+	hard := map[path.ID]bool{}
+	for id := path.ID(1); id <= 32; id++ {
+		hard[id] = true
+	}
+	for step := 0; step < 100_000; step++ {
+		var id path.ID
+		if rng.Intn(2) == 0 {
+			id = path.ID(rng.Intn(32) + 1) // recurring hard paths
+		} else {
+			id = path.ID(rng.Intn(10_000) + 100) // one-off noise paths
+		}
+		miss := hard[id] && rng.Intn(2) == 0 || !hard[id] && rng.Intn(10) == 0
+		c.Observe(id, miss)
+	}
+	surviving := 0
+	for id := path.ID(1); id <= 32; id++ {
+		if c.Difficult(id) {
+			surviving++
+		}
+	}
+	if surviving < 8 {
+		t.Errorf("only %d/32 hard paths survived capacity pressure", surviving)
+	}
+}

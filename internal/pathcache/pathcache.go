@@ -1,0 +1,259 @@
+// Package pathcache implements the Path Cache of Section 4.1: the
+// back-end structure that identifies difficult paths at run time.
+//
+// Each entry tracks one path with an occurrence counter and a
+// misprediction counter. At the end of each training interval the entry's
+// Difficult bit is set from the measured misprediction rate and the
+// counters reset. Allocation is biased toward difficult paths: a new
+// entry is allocated only when the terminating branch was mispredicted
+// (the paper reports this avoids ~45% of allocations), and replacement
+// uses LRU modified to prefer victims whose Difficult bit is clear.
+//
+// The promotion logic of Section 4.2.1 also lives here: when an update
+// leaves an entry Difficult but not Promoted, Observe returns a promotion
+// request; when an entry stops being difficult while promoted, it returns
+// a demotion request. The caller (the SSMT core) sets the Promoted bit
+// once the Microthread Builder accepts the request.
+package pathcache
+
+import "dpbp/internal/path"
+
+// Config sizes and tunes the Path Cache.
+type Config struct {
+	// Entries is the total entry count (the paper uses 8K).
+	Entries int
+	// Ways is the set associativity.
+	Ways int
+	// TrainInterval is the number of occurrences per difficulty
+	// measurement (the paper uses 32).
+	TrainInterval int
+	// Threshold is the difficulty threshold T.
+	Threshold float64
+	// AllocateAlways disables allocate-on-mispredict (for ablation).
+	AllocateAlways bool
+	// PlainLRU disables the difficulty-biased replacement (for ablation).
+	PlainLRU bool
+}
+
+// DefaultConfig returns the paper's configuration: 8K entries, 8-way,
+// training interval 32, T = 0.10.
+func DefaultConfig() Config {
+	return Config{Entries: 8 << 10, Ways: 8, TrainInterval: 32, Threshold: 0.10}
+}
+
+// Event tells the caller what an Observe did.
+type Event struct {
+	// Promote requests microthread construction for the path.
+	Promote bool
+	// Demote tells the caller the path stopped being difficult and its
+	// routine should be retired from the MicroRAM.
+	Demote bool
+}
+
+// Stats counts Path Cache activity.
+type Stats struct {
+	Hits             uint64
+	Misses           uint64
+	Allocations      uint64
+	AllocsAvoided    uint64 // misses not allocated (correctly predicted)
+	Replacements     uint64
+	DifficultSet     uint64 // Difficult-bit 0->1 transitions
+	DifficultCleared uint64 // Difficult-bit 1->0 transitions
+	Promotions       uint64
+	Demotions        uint64
+}
+
+type entry struct {
+	id        path.ID
+	valid     bool
+	occ       uint32
+	mis       uint32
+	difficult bool
+	promoted  bool
+	lru       uint64 // last-touch tick
+}
+
+// Cache is the Path Cache.
+type Cache struct {
+	cfg  Config
+	sets [][]entry
+	mask uint64
+	tick uint64
+
+	Stats Stats
+}
+
+// New returns a Path Cache configured by cfg.
+func New(cfg Config) *Cache {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 8 << 10
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 8
+	}
+	if cfg.TrainInterval <= 0 {
+		cfg.TrainInterval = 32
+	}
+	nsets := cfg.Entries / cfg.Ways
+	// Round set count to a power of two for mask indexing.
+	p := 1
+	for p < nsets {
+		p *= 2
+	}
+	nsets = p
+	sets := make([][]entry, nsets)
+	backing := make([]entry, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, mask: uint64(nsets - 1)}
+}
+
+func (c *Cache) set(id path.ID) []entry {
+	return c.sets[uint64(id)&c.mask]
+}
+
+// lookup returns the entry for id, or nil.
+func (c *Cache) lookup(id path.ID) *entry {
+	set := c.set(id)
+	for i := range set {
+		if set[i].valid && set[i].id == id {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Observe updates the Path Cache for a retired terminating branch on path
+// id, with mispredicted reporting whether the hardware prediction was
+// wrong. It returns any promotion/demotion event the update produced.
+func (c *Cache) Observe(id path.ID, mispredicted bool) Event {
+	c.tick++
+	e := c.lookup(id)
+	if e == nil {
+		c.Stats.Misses++
+		if !mispredicted && !c.cfg.AllocateAlways {
+			// Allocate-on-mispredict: correctly predicted first
+			// encounters are not worth tracking.
+			c.Stats.AllocsAvoided++
+			return Event{}
+		}
+		e = c.victim(id)
+		*e = entry{id: id, valid: true, lru: c.tick}
+	} else {
+		c.Stats.Hits++
+		e.lru = c.tick
+	}
+
+	e.occ++
+	if mispredicted {
+		e.mis++
+	}
+
+	var ev Event
+	if int(e.occ) >= c.cfg.TrainInterval {
+		wasDifficult := e.difficult
+		e.difficult = float64(e.mis)/float64(e.occ) > c.cfg.Threshold
+		e.occ, e.mis = 0, 0
+		if e.difficult && !wasDifficult {
+			c.Stats.DifficultSet++
+		}
+		if !e.difficult && wasDifficult {
+			c.Stats.DifficultCleared++
+		}
+		if !e.difficult && e.promoted {
+			e.promoted = false
+			c.Stats.Demotions++
+			ev.Demote = true
+		}
+	}
+
+	// Promotion logic runs on every update (Section 4.2.1): Difficult
+	// set, Promoted clear -> request construction.
+	if e.difficult && !e.promoted {
+		ev.Promote = true
+	}
+	return ev
+}
+
+// SetPromoted records the builder's answer to a promotion request. Pass
+// false if the builder could not satisfy the request, leaving the request
+// to fire again on the next update.
+func (c *Cache) SetPromoted(id path.ID, ok bool) {
+	e := c.lookup(id)
+	if e == nil {
+		return
+	}
+	if ok && !e.promoted {
+		c.Stats.Promotions++
+	}
+	e.promoted = ok
+}
+
+// Difficult reports whether the path currently has its Difficult bit set.
+func (c *Cache) Difficult(id path.ID) bool {
+	e := c.lookup(id)
+	return e != nil && e.difficult
+}
+
+// Promoted reports whether the path currently has its Promoted bit set.
+func (c *Cache) Promoted(id path.ID) bool {
+	e := c.lookup(id)
+	return e != nil && e.promoted
+}
+
+// victim picks a replacement slot in id's set: an invalid slot if any,
+// otherwise the LRU entry among non-difficult entries, falling back to
+// the overall LRU entry when every way is difficult. PlainLRU disables
+// the difficulty bias.
+func (c *Cache) victim(id path.ID) *entry {
+	set := c.set(id)
+	for i := range set {
+		if !set[i].valid {
+			c.Stats.Allocations++
+			return &set[i]
+		}
+	}
+	c.Stats.Allocations++
+	c.Stats.Replacements++
+	best := -1
+	for i := range set {
+		if !c.cfg.PlainLRU && set[i].difficult {
+			continue
+		}
+		if best == -1 || set[i].lru < set[best].lru {
+			best = i
+		}
+	}
+	if best == -1 {
+		for i := range set {
+			if best == -1 || set[i].lru < set[best].lru {
+				best = i
+			}
+		}
+	}
+	return &set[best]
+}
+
+// DifficultCount returns the number of currently difficult entries, for
+// statistics.
+func (c *Cache) DifficultCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].difficult {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// AllocAvoidedFraction returns the fraction of misses whose allocation was
+// skipped by allocate-on-mispredict (the paper reports ~45%).
+func (c *Cache) AllocAvoidedFraction() float64 {
+	if c.Stats.Misses == 0 {
+		return 0
+	}
+	return float64(c.Stats.AllocsAvoided) / float64(c.Stats.Misses)
+}

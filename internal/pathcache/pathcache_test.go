@@ -1,0 +1,232 @@
+package pathcache
+
+import (
+	"testing"
+
+	"dpbp/internal/path"
+)
+
+func small() Config {
+	return Config{Entries: 32, Ways: 4, TrainInterval: 8, Threshold: 0.10}
+}
+
+func TestAllocateOnMispredictOnly(t *testing.T) {
+	c := New(small())
+	c.Observe(path.ID(1), false)
+	if c.Stats.Allocations != 0 || c.Stats.AllocsAvoided != 1 {
+		t.Errorf("correctly predicted miss allocated: %+v", c.Stats)
+	}
+	c.Observe(path.ID(1), true)
+	if c.Stats.Allocations != 1 {
+		t.Errorf("mispredicted miss not allocated: %+v", c.Stats)
+	}
+	// Now it hits.
+	c.Observe(path.ID(1), false)
+	if c.Stats.Hits != 1 {
+		t.Errorf("hit not counted: %+v", c.Stats)
+	}
+}
+
+func TestAllocateAlwaysAblation(t *testing.T) {
+	cfg := small()
+	cfg.AllocateAlways = true
+	c := New(cfg)
+	c.Observe(path.ID(1), false)
+	if c.Stats.Allocations != 1 {
+		t.Error("AllocateAlways did not allocate on correct prediction")
+	}
+}
+
+func TestDifficultBitAfterInterval(t *testing.T) {
+	c := New(small())
+	id := path.ID(7)
+	// 8 occurrences, 4 mispredicted: rate 0.5 > 0.10 -> difficult.
+	for i := 0; i < 8; i++ {
+		c.Observe(id, i%2 == 0)
+	}
+	if !c.Difficult(id) {
+		t.Fatal("path with 50% misprediction not difficult after interval")
+	}
+	if c.Stats.DifficultSet != 1 {
+		t.Errorf("DifficultSet = %d", c.Stats.DifficultSet)
+	}
+	// Next interval with no mispredictions clears the bit.
+	for i := 0; i < 8; i++ {
+		c.Observe(id, false)
+	}
+	if c.Difficult(id) {
+		t.Fatal("difficult bit not cleared after easy interval")
+	}
+	if c.Stats.DifficultCleared != 1 {
+		t.Errorf("DifficultCleared = %d", c.Stats.DifficultCleared)
+	}
+}
+
+func TestEasyPathNeverDifficult(t *testing.T) {
+	c := New(small())
+	id := path.ID(9)
+	c.Observe(id, true) // allocate
+	for i := 0; i < 100; i++ {
+		c.Observe(id, false)
+	}
+	// One early misprediction out of 8 in the first interval is 12.5% > T,
+	// so it may be difficult after interval 1, but later intervals clear.
+	if c.Difficult(id) {
+		t.Error("long-easy path still difficult")
+	}
+}
+
+func TestPromotionDemotionFlow(t *testing.T) {
+	c := New(small())
+	id := path.ID(11)
+	var promoted bool
+	for i := 0; i < 8; i++ {
+		ev := c.Observe(id, true)
+		if ev.Promote {
+			promoted = true
+			c.SetPromoted(id, true)
+		}
+	}
+	if !promoted {
+		t.Fatal("all-mispredicted path never requested promotion")
+	}
+	if !c.Promoted(id) {
+		t.Fatal("Promoted bit not set")
+	}
+	if c.Stats.Promotions != 1 {
+		t.Errorf("Promotions = %d", c.Stats.Promotions)
+	}
+	// While promoted and still difficult, no duplicate requests.
+	ev := c.Observe(id, true)
+	if ev.Promote {
+		t.Error("promotion re-requested while promoted")
+	}
+	// A clean interval demotes.
+	var demoted bool
+	for i := 0; i < 16; i++ {
+		if c.Observe(id, false).Demote {
+			demoted = true
+		}
+	}
+	if !demoted {
+		t.Fatal("no demotion after easy intervals")
+	}
+	if c.Promoted(id) {
+		t.Error("Promoted bit survived demotion")
+	}
+	if c.Stats.Demotions != 1 {
+		t.Errorf("Demotions = %d", c.Stats.Demotions)
+	}
+}
+
+func TestBuilderRefusalRetries(t *testing.T) {
+	c := New(small())
+	id := path.ID(13)
+	for i := 0; i < 8; i++ {
+		c.Observe(id, true)
+	}
+	ev := c.Observe(id, true)
+	if !ev.Promote {
+		t.Fatal("expected promotion request")
+	}
+	c.SetPromoted(id, false) // builder busy
+	ev = c.Observe(id, true)
+	if !ev.Promote {
+		t.Error("promotion request should repeat after builder refusal")
+	}
+}
+
+func TestLRUPrefersNonDifficultVictims(t *testing.T) {
+	// 1 set x 4 ways.
+	cfg := Config{Entries: 4, Ways: 4, TrainInterval: 4, Threshold: 0.10}
+	c := New(cfg)
+	// Fill 4 ways; make ids 1 and 2 difficult.
+	for id := path.ID(1); id <= 4; id++ {
+		for i := 0; i < 4; i++ {
+			c.Observe(id, id <= 2)
+		}
+	}
+	if !c.Difficult(1) || !c.Difficult(2) || c.Difficult(3) || c.Difficult(4) {
+		t.Fatal("setup wrong")
+	}
+	// Touch 3 so 4 is LRU among non-difficult.
+	c.Observe(path.ID(3), false)
+	// Insert a new mispredicted path; victim should be 4, not 1/2.
+	c.Observe(path.ID(99), true)
+	if !c.Difficult(1) || !c.Difficult(2) {
+		t.Error("difficult entry evicted despite easy victims")
+	}
+	if c.lookup(path.ID(4)) != nil {
+		t.Error("expected id 4 to be evicted")
+	}
+	if c.lookup(path.ID(99)) == nil {
+		t.Error("new path not inserted")
+	}
+}
+
+func TestLRUFallbackWhenAllDifficult(t *testing.T) {
+	cfg := Config{Entries: 2, Ways: 2, TrainInterval: 2, Threshold: 0.10}
+	c := New(cfg)
+	for id := path.ID(1); id <= 2; id++ {
+		c.Observe(id, true)
+		c.Observe(id, true)
+	}
+	if !c.Difficult(1) || !c.Difficult(2) {
+		t.Fatal("setup wrong")
+	}
+	// Must still be able to allocate.
+	c.Observe(path.ID(50), true)
+	if c.lookup(path.ID(50)) == nil {
+		t.Error("allocation failed with all-difficult set")
+	}
+	if c.Stats.Replacements != 1 {
+		t.Errorf("Replacements = %d", c.Stats.Replacements)
+	}
+}
+
+func TestPlainLRUAblation(t *testing.T) {
+	cfg := Config{Entries: 2, Ways: 2, TrainInterval: 2, Threshold: 0.10, PlainLRU: true}
+	c := New(cfg)
+	// id 1 difficult and old; id 2 easy and recent.
+	c.Observe(path.ID(1), true)
+	c.Observe(path.ID(1), true)
+	c.Observe(path.ID(2), true)
+	c.Observe(path.ID(2), false)
+	// Plain LRU evicts id 1 (oldest) even though difficult.
+	c.Observe(path.ID(50), true)
+	if c.lookup(path.ID(1)) != nil {
+		t.Error("plain LRU should evict oldest regardless of difficulty")
+	}
+}
+
+func TestDifficultCountAndAvoidedFraction(t *testing.T) {
+	c := New(small())
+	for id := path.ID(1); id <= 3; id++ {
+		for i := 0; i < 8; i++ {
+			c.Observe(id, true)
+		}
+	}
+	if got := c.DifficultCount(); got != 3 {
+		t.Errorf("DifficultCount = %d, want 3", got)
+	}
+	c.Observe(path.ID(100), false) // avoided alloc
+	if f := c.AllocAvoidedFraction(); f <= 0 || f > 1 {
+		t.Errorf("AllocAvoidedFraction = %f", f)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if len(c.sets) == 0 {
+		t.Fatal("zero config produced empty cache")
+	}
+	// Interval defaults to 32; threshold 0 means any misprediction makes
+	// a path difficult, which is a valid (if aggressive) setting.
+	id := path.ID(5)
+	for i := 0; i < 32; i++ {
+		c.Observe(id, true)
+	}
+	if !c.Difficult(id) {
+		t.Error("default interval did not trigger at 32")
+	}
+}

@@ -1,0 +1,162 @@
+// Package pcache implements the Prediction Cache of Section 4.3.3: the
+// structure through which microthreads communicate pre-computed branch
+// outcomes to the front end.
+//
+// A microthread's Store_PCache writes an entry keyed by (Path_Id, Seq_Num)
+// — the path being predicted and the dynamic sequence number of the
+// specific branch instance. The front end probes the cache when it fetches
+// a branch; a hit overrides the hardware prediction. Writes that arrive
+// after the branch was fetched are matched against in-flight instances by
+// the core to initiate early recoveries (that matching lives in the timing
+// core; this package stores and expires entries).
+//
+// The cache is small (128 entries in the paper) because entries are
+// short-lived: any entry whose Seq_Num is behind the front end's position
+// can never match again and is eagerly reclaimed.
+package pcache
+
+import (
+	"dpbp/internal/isa"
+	"dpbp/internal/path"
+)
+
+// Entry is one microthread prediction.
+type Entry struct {
+	PathID path.ID
+	Seq    uint64
+	Taken  bool
+	Target isa.Addr
+	// Ready is the cycle at which the Store_PCache completes and the
+	// prediction becomes visible to the front end. The timing core uses
+	// it to classify deliveries as early, late, or useless.
+	Ready uint64
+}
+
+// Stats counts Prediction Cache activity.
+type Stats struct {
+	Writes     uint64
+	Overwrites uint64 // same (PathID, Seq) written twice
+	Evictions  uint64 // live entry displaced by a write to a full cache
+	Expired    uint64 // stale entries reclaimed
+	Hits       uint64 // front-end probes that matched
+	Misses     uint64
+}
+
+// Cache is the Prediction Cache.
+type Cache struct {
+	cap     int
+	entries []Entry
+	used    []bool
+	free    []int
+	index   map[key]int
+
+	Stats Stats
+}
+
+type key struct {
+	id  path.ID
+	seq uint64
+}
+
+// New returns a Prediction Cache with the given capacity (the paper
+// uses 128).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		cap:     capacity,
+		entries: make([]Entry, capacity),
+		used:    make([]bool, capacity),
+		index:   make(map[key]int, capacity),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int { return len(c.index) }
+
+// Write installs a prediction. If the cache is full it first reclaims the
+// entry with the smallest Seq (the one that will expire soonest); entries
+// never block writes, matching the paper's observation that aggressive
+// de-allocation keeps 128 entries sufficient.
+func (c *Cache) Write(e Entry) {
+	c.Stats.Writes++
+	k := key{e.PathID, e.Seq}
+	if i, ok := c.index[k]; ok {
+		c.Stats.Overwrites++
+		c.entries[i] = e
+		return
+	}
+	var slot int
+	if len(c.free) > 0 {
+		slot = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		// Evict the entry closest to expiry.
+		victim := -1
+		for i := range c.entries {
+			if !c.used[i] {
+				continue
+			}
+			if victim == -1 || c.entries[i].Seq < c.entries[victim].Seq {
+				victim = i
+			}
+		}
+		c.Stats.Evictions++
+		delete(c.index, key{c.entries[victim].PathID, c.entries[victim].Seq})
+		slot = victim
+	}
+	c.entries[slot] = e
+	c.used[slot] = true
+	c.index[k] = slot
+}
+
+// Consume probes the cache at fetch time for the branch instance
+// (id, seq). A hit removes and returns the entry: each prediction targets
+// exactly one dynamic instance.
+func (c *Cache) Consume(id path.ID, seq uint64) (Entry, bool) {
+	k := key{id, seq}
+	i, ok := c.index[k]
+	if !ok {
+		c.Stats.Misses++
+		return Entry{}, false
+	}
+	c.Stats.Hits++
+	e := c.entries[i]
+	c.release(i, k)
+	return e, true
+}
+
+// Remove deletes the entry for (id, seq) if present, returning whether it
+// existed. The SSMT core uses it when an aborted microthread's pending
+// write must be cancelled.
+func (c *Cache) Remove(id path.ID, seq uint64) bool {
+	k := key{id, seq}
+	i, ok := c.index[k]
+	if !ok {
+		return false
+	}
+	c.release(i, k)
+	return true
+}
+
+// Expire reclaims every entry whose Seq is at or behind the front end's
+// current fetch sequence number; such entries can never match again.
+func (c *Cache) Expire(fetchSeq uint64) {
+	for i := range c.entries {
+		if c.used[i] && c.entries[i].Seq <= fetchSeq {
+			c.Stats.Expired++
+			c.release(i, key{c.entries[i].PathID, c.entries[i].Seq})
+		}
+	}
+}
+
+func (c *Cache) release(i int, k key) {
+	delete(c.index, k)
+	c.used[i] = false
+	c.free = append(c.free, i)
+}

@@ -1,0 +1,217 @@
+package synth
+
+// Per-kernel tests: each kernel family must generate, execute, and exhibit
+// its intended behavioural signature in isolation.
+
+import (
+	"testing"
+
+	"dpbp/internal/bpred"
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+)
+
+// soloProfile builds a profile containing only one kernel kind.
+func soloProfile(kind KernelKind, bias float64) Profile {
+	var mix [NumKernelKinds]int
+	mix[kind] = 1
+	return Profile{
+		Name:       "solo",
+		Seed:       777,
+		Kernels:    4,
+		Iterations: 1 << 20,
+		Bias:       bias,
+		Footprint:  8 << 10,
+		Mix:        mix,
+		LoopLen:    16,
+		Pad:        2,
+	}
+}
+
+// runSolo executes a solo-kernel program and gathers branch statistics.
+type soloStats struct {
+	insts    uint64
+	branches uint64
+	taken    uint64
+	indirect uint64
+	calls    uint64
+	loads    uint64
+	stores   uint64
+	loadEAs  map[isa.Addr]uint64
+}
+
+func runSolo(t *testing.T, kind KernelKind, bias float64, n uint64) *soloStats {
+	t.Helper()
+	prog := Generate(soloProfile(kind, bias))
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("kind %d: invalid program: %v", kind, err)
+	}
+	s := &soloStats{loadEAs: map[isa.Addr]uint64{}}
+	m := emu.New(prog)
+	s.insts = m.Run(n, func(r *emu.Record) bool {
+		switch {
+		case r.Inst.IsTerminatingBranch():
+			s.branches++
+			if r.Taken {
+				s.taken++
+			}
+			if r.Inst.Op == isa.OpJmpInd {
+				s.indirect++
+			}
+		case r.Inst.IsCall():
+			s.calls++
+		case r.Inst.IsLoad():
+			s.loads++
+			s.loadEAs[r.EA]++
+		case r.Inst.IsStore():
+			s.stores++
+		}
+		return true
+	})
+	if s.insts < n/2 {
+		t.Fatalf("kind %d: only %d instructions executed", kind, s.insts)
+	}
+	return s
+}
+
+func TestScanKernelSolo(t *testing.T) {
+	s := runSolo(t, KindScan, 0.5, 100_000)
+	if s.branches == 0 || s.loads == 0 {
+		t.Fatalf("scan kernel missing branches/loads: %+v", s)
+	}
+	// Data-dependent branches at bias .5 should be taken 20-80% overall
+	// (mix of hard branches and loop back-edges).
+	frac := float64(s.taken) / float64(s.branches)
+	if frac < 0.2 || frac > 0.95 {
+		t.Errorf("scan taken fraction %.2f implausible", frac)
+	}
+}
+
+func TestPathMixKernelSolo(t *testing.T) {
+	s := runSolo(t, KindPathMix, 0.5, 100_000)
+	if s.branches == 0 {
+		t.Fatal("pathmix kernel has no branches")
+	}
+}
+
+func TestLoopNestKernelSolo(t *testing.T) {
+	s := runSolo(t, KindLoopNest, 0.5, 100_000)
+	// The nest alternates a mostly-taken back-edge with a mostly
+	// not-taken biased branch (taken ~1/64), so the overall taken
+	// fraction sits near one half and the kernel must be load-heavy.
+	frac := float64(s.taken) / float64(s.branches)
+	if frac < 0.3 || frac > 0.8 {
+		t.Errorf("loop-nest taken fraction %.2f implausible", frac)
+	}
+	if s.loads == 0 {
+		t.Error("loop nest performed no loads")
+	}
+}
+
+func TestSwitchKernelSolo(t *testing.T) {
+	s := runSolo(t, KindSwitch, 0.5, 100_000)
+	if s.indirect == 0 {
+		t.Fatal("switch kernel executed no indirect jumps")
+	}
+}
+
+func TestChaseKernelSolo(t *testing.T) {
+	s := runSolo(t, KindChase, 0.5, 100_000)
+	if s.loads == 0 {
+		t.Fatal("chase kernel has no loads")
+	}
+	// Pointer chasing touches many distinct addresses roughly uniformly.
+	if len(s.loadEAs) < 100 {
+		t.Errorf("chase touched only %d distinct addresses", len(s.loadEAs))
+	}
+}
+
+func TestCallTreeKernelSolo(t *testing.T) {
+	s := runSolo(t, KindCallTree, 0.5, 100_000)
+	if s.calls == 0 {
+		t.Fatal("call-tree kernel made no calls")
+	}
+	if s.stores == 0 {
+		t.Error("call-tree kernel should save RRA to the stack")
+	}
+}
+
+func TestBiasControlsTakenness(t *testing.T) {
+	// The scan kernel's data branch is `beqz` on a masked data bit, so
+	// low bias (mostly-zero bits) makes it mostly taken and high bias
+	// mostly not-taken; the spread must be large.
+	lo := runSolo(t, KindScan, 0.1, 100_000)
+	hi := runSolo(t, KindScan, 0.9, 100_000)
+	fLo := float64(lo.taken) / float64(lo.branches)
+	fHi := float64(hi.taken) / float64(hi.branches)
+	if fLo <= fHi+0.1 {
+		t.Errorf("bias has no effect: taken %.2f at 0.1 vs %.2f at 0.9", fLo, fHi)
+	}
+}
+
+func TestMixHelperOrdering(t *testing.T) {
+	m := Mix(1, 2, 3, 4, 5, 6, 7)
+	want := [NumKernelKinds]int{1, 2, 3, 4, 5, 6, 7}
+	if m != want {
+		t.Errorf("Mix = %v, want %v", m, want)
+	}
+	if m[KindScan] != 1 || m[KindCallTree] != 6 || m[KindInterp] != 7 {
+		t.Error("kind indices misaligned with Mix argument order")
+	}
+}
+
+func TestEmptyMixFallsBackToScan(t *testing.T) {
+	p := soloProfile(KindScan, 0.5)
+	p.Mix = [NumKernelKinds]int{}
+	prog := Generate(p)
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("empty-mix program invalid: %v", err)
+	}
+	m := emu.New(prog)
+	if n := m.Run(10_000, nil); n < 5_000 {
+		t.Errorf("empty-mix program barely ran: %d", n)
+	}
+}
+
+func TestInterpKernelSolo(t *testing.T) {
+	s := runSolo(t, KindInterp, 0.5, 100_000)
+	if s.indirect == 0 {
+		t.Fatal("interpreter kernel executed no dispatches")
+	}
+	// Dispatch dominates: roughly one indirect jump per bytecode step.
+	if float64(s.indirect)/float64(s.branches) < 0.3 {
+		t.Errorf("dispatch fraction %.2f too low", float64(s.indirect)/float64(s.branches))
+	}
+	// Three loads per step (opcode, operand, table).
+	if s.loads < s.indirect*2 {
+		t.Errorf("loads %d vs dispatches %d; fetch structure wrong", s.loads, s.indirect)
+	}
+}
+
+func TestInterpDispatchIsHardButSliceable(t *testing.T) {
+	// The interpreter's dispatch should mispredict heavily on the
+	// baseline (bytecode longer than the target cache's reach).
+	prog := Generate(soloProfile(KindInterp, 0.5))
+	pred := bpred.New(bpred.DefaultConfig())
+	m := emu.New(prog)
+	var ind, miss uint64
+	m.Run(300_000, func(r *emu.Record) bool {
+		if r.Inst.IsBranch() {
+			g := pred.Predict(r.PC, r.Inst)
+			wrong := pred.Update(r.PC, r.Inst, g, r.Taken, r.NextPC)
+			if r.Inst.Op == isa.OpJmpInd {
+				ind++
+				if wrong {
+					miss++
+				}
+			}
+		}
+		return true
+	})
+	if ind == 0 {
+		t.Fatal("no dispatches")
+	}
+	if rate := float64(miss) / float64(ind); rate < 0.2 {
+		t.Errorf("dispatch mispredict rate %.2f; expected a hard indirect branch", rate)
+	}
+}

@@ -1,0 +1,257 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 20 {
+		t.Fatalf("got %d profiles, want 20", len(ps))
+	}
+	want95 := []string{"comp", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	for i, n := range want95 {
+		if ps[i].Name != n {
+			t.Errorf("profile %d = %q, want %q", i, ps[i].Name, n)
+		}
+	}
+	seen := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if seeds[p.Seed] {
+			t.Errorf("duplicate seed %d (%q)", p.Seed, p.Name)
+		}
+		seeds[p.Seed] = true
+		if p.Kernels <= 0 || p.Footprint <= 0 || p.LoopLen <= 0 {
+			t.Errorf("profile %q has non-positive size params: %+v", p.Name, p)
+		}
+		if p.Bias < 0 || p.Bias > 1 {
+			t.Errorf("profile %q bias %v out of range", p.Name, p.Bias)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf_2k")
+	if err != nil || p.Name != "mcf_2k" {
+		t.Errorf("ProfileByName(mcf_2k) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := Names()
+	if len(n) != 20 || n[0] != "comp" || n[19] != "vpr_2k" {
+		t.Errorf("Names() = %v", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("li")
+	a := Generate(p)
+	b := Generate(p)
+	if !reflect.DeepEqual(a.Code, b.Code) {
+		t.Error("code generation not deterministic")
+	}
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Error("data generation not deterministic")
+	}
+}
+
+func TestGenerateAllValidAndRunnable(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := Generate(p)
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if len(prog.StaticBranches()) < 4 {
+				t.Errorf("only %d terminating branches", len(prog.StaticBranches()))
+			}
+			m := emu.New(prog)
+			var branches, taken uint64
+			n := m.Run(200_000, func(r *emu.Record) bool {
+				if !prog.Valid(r.NextPC) {
+					t.Fatalf("control flow escaped to %d after %v at %d", r.NextPC, r.Inst, r.PC)
+				}
+				if r.Inst.IsTerminatingBranch() {
+					branches++
+					if r.Taken {
+						taken++
+					}
+				}
+				return true
+			})
+			if n < 50_000 && !m.Halted() {
+				t.Fatalf("ran only %d instructions", n)
+			}
+			if branches == 0 {
+				t.Fatal("no terminating branches executed")
+			}
+			frac := float64(branches) / float64(n)
+			if frac < 0.02 || frac > 0.5 {
+				t.Errorf("branch fraction %.3f out of plausible range", frac)
+			}
+		})
+	}
+}
+
+// TestScanBranchHardness checks the core property the whole evaluation
+// depends on: data-dependent branches in a 0.5-bias benchmark look like
+// coin flips (taken rate near 50% with high per-branch variance), while a
+// high-bias benchmark's branches leaned strongly one way.
+func TestScanBranchHardness(t *testing.T) {
+	rates := func(name string) map[isa.Addr]float64 {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := Generate(p)
+		m := emu.New(prog)
+		takenCnt := map[isa.Addr]uint64{}
+		total := map[isa.Addr]uint64{}
+		m.Run(500_000, func(r *emu.Record) bool {
+			if r.Inst.IsCondBranch() {
+				total[r.PC]++
+				if r.Taken {
+					takenCnt[r.PC]++
+				}
+			}
+			return true
+		})
+		out := map[isa.Addr]float64{}
+		for pc, n := range total {
+			if n >= 100 {
+				out[pc] = float64(takenCnt[pc]) / float64(n)
+			}
+		}
+		return out
+	}
+
+	nMid := 0
+	for _, r := range rates("comp") { // bias 0.50
+		if r > 0.30 && r < 0.70 {
+			nMid++
+		}
+	}
+	if nMid < 3 {
+		t.Errorf("comp: only %d branches with mid-range taken rates; want hard branches", nMid)
+	}
+
+	nMid = 0
+	nTot := 0
+	for _, r := range rates("eon_2k") { // bias 0.92
+		nTot++
+		if r > 0.35 && r < 0.65 {
+			nMid++
+		}
+	}
+	if nTot > 0 && float64(nMid)/float64(nTot) > 0.35 {
+		t.Errorf("eon_2k: %d/%d branches mid-range; want mostly biased", nMid, nTot)
+	}
+}
+
+func TestSwitchTablesPatched(t *testing.T) {
+	p, _ := ProfileByName("perl") // has switch kernels
+	prog := Generate(p)
+	m := emu.New(prog)
+	indirect := 0
+	m.Run(300_000, func(r *emu.Record) bool {
+		if r.Inst.Op == isa.OpJmpInd {
+			indirect++
+			if !prog.Valid(r.NextPC) {
+				t.Fatalf("indirect jump to invalid address %d", r.NextPC)
+			}
+		}
+		return true
+	})
+	if indirect == 0 {
+		t.Error("no indirect jumps executed; switch kernel missing or dead")
+	}
+}
+
+func TestChaseTraversal(t *testing.T) {
+	p, _ := ProfileByName("mcf_2k")
+	prog := Generate(p)
+	m := emu.New(prog)
+	loads := 0
+	addrs := map[isa.Addr]bool{}
+	m.Run(300_000, func(r *emu.Record) bool {
+		if r.Inst.IsLoad() {
+			loads++
+			addrs[r.EA] = true
+		}
+		return true
+	})
+	if loads == 0 {
+		t.Fatal("no loads executed")
+	}
+	// Pointer chasing should touch many distinct addresses.
+	if len(addrs) < 500 {
+		t.Errorf("only %d distinct load addresses; chase footprint too small", len(addrs))
+	}
+}
+
+func TestCallDepthBalanced(t *testing.T) {
+	p, _ := ProfileByName("vortex")
+	prog := Generate(p)
+	m := emu.New(prog)
+	depth, maxDepth := 0, 0
+	m.Run(300_000, func(r *emu.Record) bool {
+		switch {
+		case r.Inst.IsCall():
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		case r.Inst.IsReturn():
+			depth--
+			if depth < -1 {
+				t.Fatalf("call/return imbalance: depth %d", depth)
+			}
+		}
+		return true
+	})
+	if maxDepth < 2 {
+		t.Errorf("max call depth %d; want nested calls", maxDepth)
+	}
+}
+
+func TestPow2Below(t *testing.T) {
+	cases := [][2]int{{1, 1}, {2, 2}, {3, 2}, {4, 4}, {5, 4}, {1023, 512}, {1024, 1024}}
+	for _, c := range cases {
+		if got := pow2Below(c[0]); got != c[1] {
+			t.Errorf("pow2Below(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestStackDoesNotCollideWithData(t *testing.T) {
+	if StackBase >= DataBase {
+		t.Fatal("stack must sit below the data segment")
+	}
+	for _, name := range []string{"vortex", "li"} {
+		p, _ := ProfileByName(name)
+		prog := Generate(p)
+		m := emu.New(prog)
+		m.Run(200_000, func(r *emu.Record) bool {
+			if r.Inst.IsStore() && r.EA >= DataBase && r.EA < DataBase+isa.Addr(len(prog.Data)) {
+				// Stores into the data image would corrupt jump
+				// tables; none of the kernels write data arrays.
+				t.Fatalf("store into data image at %d", r.EA)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package uthread
+
+import (
+	"fmt"
+
+	"dpbp/internal/isa"
+)
+
+// Env supplies a microthread's view of the machine at spawn time: live-in
+// registers and memory come from the primary thread's architectural state
+// at the spawn point, and Vp_Inst/Ap_Inst query the back-end predictors.
+type Env struct {
+	// ReadReg returns the primary thread's value of a live-in register
+	// at spawn.
+	ReadReg func(isa.Reg) isa.Word
+	// LoadMem returns the memory word at addr as of spawn.
+	LoadMem func(isa.Addr) isa.Word
+	// PredictValue serves Vp_Inst: the predicted value of the pruned
+	// instruction at pc, ahead instances ahead. ok=false means the
+	// predictor has no entry (the microthread then uses zero, and its
+	// prediction is simply likely to be wrong — as in hardware).
+	PredictValue func(pc isa.Addr, ahead int) (isa.Word, bool)
+	// PredictAddr serves Ap_Inst analogously for base-register values.
+	PredictAddr func(pc isa.Addr, ahead int) (isa.Word, bool)
+}
+
+// Result is the functional outcome of executing a routine.
+type Result struct {
+	// Taken is the pre-computed direction (true for indirect branches).
+	Taken bool
+	// Target is the pre-computed next PC.
+	Target isa.Addr
+	// LoadedEAs lists the memory addresses the routine read; the SSMT
+	// core watches primary-thread stores to them between spawn and the
+	// target branch to detect memory-dependence violations.
+	LoadedEAs []isa.Addr
+	// Executed counts the instructions run.
+	Executed int
+}
+
+// Execute runs a routine functionally against env. The timing core models
+// when the result becomes available; Execute determines what the result
+// is. It panics on malformed routines (builder bugs), never on data.
+func Execute(r *Routine, env *Env) Result {
+	var regs [MicroRegs]isa.Word
+	loaded := make(map[isa.Reg]bool, len(r.LiveIns))
+	for _, li := range r.LiveIns {
+		regs[li] = env.ReadReg(li)
+		loaded[li] = true
+	}
+
+	res := Result{}
+	read := func(reg isa.Reg) isa.Word {
+		if reg == isa.RZero {
+			return 0
+		}
+		return regs[reg]
+	}
+
+	for _, mi := range r.Insts {
+		res.Executed++
+		in := mi.Inst
+		switch {
+		case isa.IsALU(in.Op):
+			regs[in.Dst] = isa.EvalALU(in.Op, read(in.Src1), read(in.Src2), in.Imm)
+
+		case in.Op == isa.OpLoad:
+			ea := isa.Addr(read(in.Src1) + in.Imm)
+			regs[in.Dst] = env.LoadMem(ea)
+			res.LoadedEAs = append(res.LoadedEAs, ea)
+
+		case in.Op == isa.OpVpInst:
+			v, _ := env.PredictValue(mi.OrigPC, mi.Ahead)
+			regs[in.Dst] = v
+
+		case in.Op == isa.OpApInst:
+			v, _ := env.PredictAddr(mi.OrigPC, mi.Ahead)
+			regs[in.Dst] = v
+
+		case in.Op == isa.OpStorePCache:
+			if mi.BranchOp == isa.OpJmpInd {
+				res.Taken = true
+				res.Target = isa.Addr(read(in.Src1))
+			} else {
+				res.Taken = isa.BranchTaken(mi.BranchOp, read(in.Src1), read(in.Src2))
+				if res.Taken {
+					res.Target = r.BranchTarget
+				} else {
+					res.Target = r.BranchPC + 1
+				}
+			}
+			return res
+
+		default:
+			panic(fmt.Sprintf("uthread: illegal op %v in routine", in.Op))
+		}
+	}
+	panic("uthread: routine missing Store_PCache")
+}

@@ -1,0 +1,113 @@
+package uthread
+
+import (
+	"fmt"
+	"strings"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/path"
+)
+
+// MicroInst is one instruction of a microthread routine, carrying the
+// metadata the SSMT core needs to execute it.
+type MicroInst struct {
+	Inst isa.Inst
+	// OrigPC is the primary-thread PC the instruction was extracted from
+	// (or, for Vp_Inst/Ap_Inst, the PC of the pruned instruction whose
+	// predictor entry must be queried).
+	OrigPC isa.Addr
+	// Ahead is the predictor ahead-distance for Vp_Inst/Ap_Inst: how many
+	// dynamic instances of OrigPC lie between the last trained instance
+	// at spawn time and the instance being pre-computed.
+	Ahead int
+	// BranchOp, for the Store_PCache instruction, is the original
+	// terminating branch opcode; executing Store_PCache evaluates it on
+	// Src1/Src2 to produce the outcome.
+	BranchOp isa.Op
+}
+
+// Routine is a constructed microthread: the instruction sequence plus the
+// spawn metadata the SSMT core needs (Sections 4.2.2 and 4.3).
+type Routine struct {
+	// PathID identifies the difficult path the routine predicts.
+	PathID path.ID
+	// BranchPC is the terminating branch being pre-computed.
+	BranchPC isa.Addr
+	// BranchTarget is the taken target for conditional terminating
+	// branches (indirect branches compute their target).
+	BranchTarget isa.Addr
+	// SpawnPC is the primary-thread instruction whose fetch triggers the
+	// spawn.
+	SpawnPC isa.Addr
+	// SeqDelta is the dynamic-instruction separation between the spawn
+	// point and the terminating branch, fixed at construction time; the
+	// Store_PCache write targets Seq(spawn) + SeqDelta.
+	SeqDelta uint64
+	// Insts is the routine body; the last instruction is Store_PCache.
+	Insts []MicroInst
+	// LiveIns are the registers the routine reads from the primary
+	// thread's architectural state at spawn.
+	LiveIns []isa.Reg
+	// ExpectedTakens lists the PCs of the taken branches the primary
+	// thread must execute between the spawn point and the terminating
+	// branch, in order. The abort mechanism (Path_History) compares the
+	// front end's taken-branch stream against this sequence; a deviation
+	// aborts the spawn.
+	ExpectedTakens []isa.Addr
+	// PrefixTakens lists the PCs of the path's taken branches that
+	// precede the spawn point. The spawn-time Path_History screen
+	// compares them against the front end's recent taken-branch history;
+	// a mismatch means this dynamic instance of the spawn PC is not on
+	// the routine's path, and the spawn is aborted before a microcontext
+	// is allocated (the paper's 67% bucket).
+	PrefixTakens []isa.Addr
+	// MemDepSpeculative reports that construction terminated at a memory
+	// dependence and the routine speculates on memory beyond it.
+	MemDepSpeculative bool
+	// DepChain is the longest dependence chain through the routine in
+	// instructions (Figure 8's metric).
+	DepChain int
+	// Pruned reports whether pruning was applied during construction.
+	Pruned bool
+	// PrunedSubtrees counts the Vp_Inst/Ap_Inst substitutions made.
+	PrunedSubtrees int
+}
+
+// Size returns the routine length in instructions.
+func (r *Routine) Size() int { return len(r.Insts) }
+
+// String renders the routine for debugging.
+func (r *Routine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routine path=%x branch=%d spawn=%d delta=%d livein=%v chain=%d\n",
+		uint64(r.PathID), r.BranchPC, r.SpawnPC, r.SeqDelta, r.LiveIns, r.DepChain)
+	for i, mi := range r.Insts {
+		fmt.Fprintf(&b, "  %2d: %v  (from %d)\n", i, mi.Inst, mi.OrigPC)
+	}
+	return b.String()
+}
+
+// computeDepChain returns the longest register-dependence chain through
+// insts, in instructions. Live-in values have depth 0.
+func computeDepChain(insts []MicroInst) int {
+	depth := make(map[isa.Reg]int)
+	longest := 0
+	for _, mi := range insts {
+		d := 0
+		var buf [2]isa.Reg
+		n := mi.Inst.ReadsInto(&buf)
+		for i := 0; i < n; i++ {
+			if dd := depth[buf[i]]; dd > d {
+				d = dd
+			}
+		}
+		d++
+		if dst, ok := mi.Inst.Writes(); ok {
+			depth[dst] = d
+		}
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}

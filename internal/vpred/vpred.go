@@ -1,0 +1,142 @@
+// Package vpred implements the back-end value and address predictors the
+// pruning optimisation relies on (Section 4.2.5 of the paper).
+//
+// Both predictors are the same machine: a PC-indexed table of
+// last-value + stride entries with a confidence counter. Restricting to
+// constant (stride 0) and stride-based prediction is what makes the
+// paper's k-ahead queries trivial: the prediction for the instance k
+// occurrences ahead of the last trained one is lastValue + k*stride.
+//
+// The predictors are trained on the primary thread's retirement stream,
+// just before instructions enter the PRB, and the per-instruction
+// confidence is snapshotted into each PRB entry so the Microthread Builder
+// can identify pruning opportunities at construction time.
+package vpred
+
+import "dpbp/internal/isa"
+
+// Config sizes a stride predictor.
+type Config struct {
+	// Entries is the table size (rounded up to a power of two).
+	Entries int
+	// ConfMax is the confidence saturation value.
+	ConfMax int
+	// ConfThreshold is the confidence at or above which a prediction is
+	// considered confident (prunable).
+	ConfThreshold int
+}
+
+// DefaultConfig returns the configuration used in the evaluation: 16K
+// entries, 3-bit confidence saturating at 7, confident at 4+.
+func DefaultConfig() Config {
+	return Config{Entries: 16 << 10, ConfMax: 7, ConfThreshold: 4}
+}
+
+type entry struct {
+	tag    isa.Addr
+	last   isa.Word
+	stride isa.Word
+	conf   int
+	valid  bool
+	// trainedSeq is the retirement sequence number of the last training
+	// instance; ahead-distance bookkeeping in microthreads is done by
+	// the builder, so the predictor itself only stores the value state.
+	trainedSeq uint64
+}
+
+// Predictor is a last-value/stride predictor with confidence.
+type Predictor struct {
+	entries []entry
+	mask    uint64
+	cfg     Config
+
+	// Stats.
+	Trains     uint64
+	Hits       uint64 // training instances where the prediction matched
+	Queries    uint64
+	Confidents uint64
+}
+
+// New returns a predictor sized by cfg.
+func New(cfg Config) *Predictor {
+	n := 1
+	for n < cfg.Entries {
+		n *= 2
+	}
+	return &Predictor{entries: make([]entry, n), mask: uint64(n - 1), cfg: cfg}
+}
+
+func (p *Predictor) at(pc isa.Addr) *entry {
+	return &p.entries[uint64(pc)&p.mask]
+}
+
+// Train observes the retired value produced by the instruction at pc. seq
+// is its retirement sequence number.
+func (p *Predictor) Train(pc isa.Addr, value isa.Word, seq uint64) {
+	p.Trains++
+	e := p.at(pc)
+	if !e.valid || e.tag != pc {
+		*e = entry{tag: pc, last: value, valid: true, trainedSeq: seq}
+		return
+	}
+	predicted := e.last + e.stride
+	if predicted == value {
+		p.Hits++
+		if e.conf < p.cfg.ConfMax {
+			e.conf++
+		}
+	} else {
+		newStride := value - e.last
+		if newStride == e.stride {
+			// The stride is right but we skipped instances (e.g.
+			// path divergence); keep confidence.
+		} else {
+			e.stride = newStride
+			e.conf = 0
+		}
+	}
+	e.last = value
+	e.trainedSeq = seq
+}
+
+// Confident reports whether the instruction at pc currently has a
+// confident (prunable) prediction.
+func (p *Predictor) Confident(pc isa.Addr) bool {
+	e := p.at(pc)
+	return e.valid && e.tag == pc && e.conf >= p.cfg.ConfThreshold
+}
+
+// Predict returns the predicted value for the instance `ahead` occurrences
+// after the last trained one (ahead=1 is the next dynamic instance). The
+// second result reports whether the entry exists at all; callers should
+// gate on Confident for pruning decisions.
+func (p *Predictor) Predict(pc isa.Addr, ahead int) (isa.Word, bool) {
+	p.Queries++
+	e := p.at(pc)
+	if !e.valid || e.tag != pc {
+		return 0, false
+	}
+	if e.conf >= p.cfg.ConfThreshold {
+		p.Confidents++
+	}
+	return e.last + e.stride*isa.Word(ahead), true
+}
+
+// Confidence returns the current confidence counter for pc (0 if absent),
+// for statistics and tests.
+func (p *Predictor) Confidence(pc isa.Addr) int {
+	e := p.at(pc)
+	if !e.valid || e.tag != pc {
+		return 0
+	}
+	return e.conf
+}
+
+// HitRate returns the fraction of training instances whose value was
+// predicted correctly, a cheap accuracy proxy.
+func (p *Predictor) HitRate() float64 {
+	if p.Trains == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Trains)
+}
