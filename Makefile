@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet lint test race bench ci
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs go vet plus the repo's own invariant suite (see
+# internal/analysis and cmd/dpbplint).
+lint:
+	$(GO) run ./cmd/dpbplint ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the two packages where concurrency lives (the experiment
+# fan-out and the timing core) plus the root-package determinism
+# regression tests, which drive the fan-out end to end.
+race:
+	$(GO) test -race ./internal/exp/... ./internal/cpu/...
+	$(GO) test -race -run Determinism .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+ci: build vet lint test race

@@ -1,0 +1,209 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// dpbplint suite. The container this project builds in carries only the
+// standard library, so rather than depending on x/tools the suite defines
+// the same three nouns — Analyzer, Pass, Diagnostic — on top of go/ast and
+// go/types, plus one extension the real framework leaves to drivers:
+// module-wide passes (RunModule), which configplumb needs to prove a
+// Config field is never read anywhere in the module.
+//
+// Suppression follows the staticcheck/golangci convention: a comment of
+// the form
+//
+//	//dpbplint:ignore <analyzer> <reason>
+//
+// on the offending line, or on the line directly above it, silences that
+// analyzer for that line. The reason is mandatory by convention (reviewed,
+// not enforced): a suppression without a justification is itself a smell.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one invariant checker. Run inspects a single package;
+// RunModule (optional) runs once after every package pass with the full
+// module in view. An analyzer may define either or both.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores ignoreIndex
+	sink    *[]Diagnostic
+}
+
+// ModulePass gives RunModule every per-package pass of the load.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Passes   []*Pass
+
+	sink *[]Diagnostic
+}
+
+// Reportf records a diagnostic unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	report(p.sink, p.Fset, p.ignores, p.Analyzer.Name, pos, format, args...)
+}
+
+// Reportf records a module-level diagnostic, honouring the ignore
+// directives of whichever package contains pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	var ig ignoreIndex
+	for _, p := range mp.Passes {
+		if p.containsPos(pos) {
+			ig = p.ignores
+			break
+		}
+	}
+	report(mp.sink, mp.Fset, ig, mp.Analyzer.Name, pos, format, args...)
+}
+
+func (p *Pass) containsPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}
+
+func report(sink *[]Diagnostic, fset *token.FileSet, ig ignoreIndex, name string, pos token.Pos, format string, args ...any) {
+	if ig.covers(fset, name, pos) {
+		return
+	}
+	*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoreIndex maps filename -> line -> analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+// covers reports whether a directive on the diagnostic's line, or the line
+// directly above it, names this analyzer (or "all").
+func (ig ignoreIndex) covers(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if ig == nil || !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	lines := ig[p.Filename]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignoreDirective = "dpbplint:ignore"
+
+// buildIgnoreIndex scans a file's comments for ignore directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ig := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				m := ig[p.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ig[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], fields[0])
+			}
+		}
+	}
+	return ig
+}
+
+// Unit is one loaded, type-checked package ready for analysis.
+type Unit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every unit (then every RunModule analyzer
+// to the whole load) and returns the surviving diagnostics in positional
+// order.
+func Run(fset *token.FileSet, units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	passesByAnalyzer := make(map[*Analyzer][]*Pass)
+	for _, u := range units {
+		ig := buildIgnoreIndex(fset, u.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				ignores:   ig,
+				sink:      &diags,
+			}
+			passesByAnalyzer[a] = append(passesByAnalyzer[a], pass)
+			if a.Run == nil {
+				continue
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Fset: fset, Passes: passesByAnalyzer[a], sink: &diags}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s (module pass): %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,122 @@
+// Package analysistest runs a dpbplint analyzer over GOPATH-shaped
+// fixture packages and checks its diagnostics against the fixtures' want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k, v := range m { // want `range over map`
+//
+// A `// want` comment holds one or more Go string literals, each a
+// regular expression that must match exactly one diagnostic reported on
+// that line. Diagnostics without a matching want, and wants without a
+// matching diagnostic, both fail the test. Lines suppressed with
+// //dpbplint:ignore directives therefore double as directive tests: if
+// the directive stopped working, the unexpected diagnostic fails here.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpbp/internal/analysis"
+	"dpbp/internal/analysis/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("resolving testdata: %v", err)
+	}
+	return dir
+}
+
+// expectation is one want entry, keyed by file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture packages under testdata/src and checks the
+// analyzer's diagnostics against their want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	units, err := loader.LoadTree(fset, testdata, paths)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+
+	var wants []*expectation
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, fset, c.Pos(), c.Text)...)
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(fset, units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// match consumes and returns the first unconsumed expectation covering
+// (file, line) whose pattern matches msg.
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}
+
+// wantLiteral matches one Go string literal (quoted or backquoted).
+var wantLiteral = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the expectations from one comment's text.
+func parseWants(t *testing.T, fset *token.FileSet, pos token.Pos, text string) []*expectation {
+	t.Helper()
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	p := fset.Position(pos)
+	var out []*expectation
+	for _, lit := range wantLiteral.FindAllString(body, -1) {
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %s: %v", filepath.Base(p.Filename), p.Line, lit, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", filepath.Base(p.Filename), p.Line, raw, err)
+		}
+		out = append(out, &expectation{file: p.Filename, line: p.Line, re: re, raw: raw})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package configplumb_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/configplumb"
+)
+
+func TestUnreadFieldsAndMagicNumbers(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), configplumb.Analyzer, "dpbp/internal/cpu")
+}

@@ -1,0 +1,38 @@
+// Package cpu is a fixture with a Config struct whose fields are plumbed
+// to varying depths: read by the model, only defaulted/copied, or never
+// touched at all.
+package cpu
+
+// Config parameterises the fixture machine.
+type Config struct {
+	// WindowSize is read by the model: fully plumbed.
+	WindowSize int
+	// BuildLatency is read by the model: fully plumbed.
+	BuildLatency int
+	// DeadKnob is set by DefaultConfig and copied by withDefaults but
+	// never consulted: plumbing-only.
+	DeadKnob int // want `config field cpu\.Config\.DeadKnob is never read outside config plumbing`
+	// Orphan is declared and never mentioned again.
+	Orphan bool // want `config field cpu\.Config\.Orphan is never read outside config plumbing`
+}
+
+// DefaultConfig returns the fixture's Table 3 stand-in values.
+func DefaultConfig() Config {
+	return Config{
+		WindowSize:   512,
+		BuildLatency: 100,
+		DeadKnob:     4096,
+	}
+}
+
+// withDefaults fills zero fields; its reads are plumbing, not behaviour.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.WindowSize == 0 {
+		c.WindowSize = d.WindowSize
+	}
+	if c.DeadKnob == 0 {
+		c.DeadKnob = d.DeadKnob
+	}
+	return c
+}

@@ -1,0 +1,26 @@
+package cpu
+
+// Run consumes the plumbed fields and demonstrates the magic-number
+// check: literals duplicating DefaultConfig's distinctive values are
+// flagged, named constants and small strides are not.
+func Run(cfg Config) uint64 {
+	cfg = cfg.withDefaults()
+	ring := make([]uint64, cfg.WindowSize)
+	var cycles uint64
+	for i := range ring {
+		ring[i] = uint64(i % 16) // small widths are not distinctive
+		cycles += ring[i]
+	}
+	cycles += uint64(cfg.BuildLatency)
+
+	stale := make([]uint64, 512) // want `literal 512 duplicates the cpu value set in DefaultConfig`
+	_ = stale
+	cycles += 100 // want `literal 100 duplicates the cpu value set in DefaultConfig`
+
+	const rebuildBudget = 100 // naming the value is the remedy: exempt
+	cycles += rebuildBudget
+
+	//dpbplint:ignore configplumb fixture: annotated duplication stays silent
+	cycles += 4096
+	return cycles
+}

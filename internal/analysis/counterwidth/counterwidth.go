@@ -1,0 +1,123 @@
+// Package counterwidth guards the saturating-counter discipline of the
+// prediction hardware: counter state (the 2-bit direction and selector
+// counters of internal/bpred, and any future counter type) may only move
+// through its inc/dec/update helpers, because the saturation bounds live
+// there. Direct arithmetic — c++, c--, c += 1, c = c + 1 — on a counter
+// type outside that type's own methods re-implements (or silently
+// forgets) the clamp, which is exactly how a 2-bit counter becomes an
+// 8-bit one and skews every predictor table in the model.
+//
+// A counter type is a defined integer type that either has "counter" or
+// "ctr" in its name or declares both inc and dec methods. The check runs
+// in the simulation packages (simdeterminism.SimPackages).
+package counterwidth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dpbp/internal/analysis"
+	"dpbp/internal/analysis/simdeterminism"
+)
+
+// Analyzer is the counterwidth pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterwidth",
+	Doc:  "flags saturating-counter arithmetic that bypasses the counter type's inc/dec/update helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !simdeterminism.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverNamed(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					if ct := counterTypeOf(pass, n.X); ct != nil && ct != recv {
+						op := "incremented directly"
+						if n.Tok == token.DEC {
+							op = "decremented directly"
+						}
+						report(pass, n.Pos(), ct, op)
+					}
+				case *ast.AssignStmt:
+					if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+						if ct := counterTypeOf(pass, n.Lhs[0]); ct != nil && ct != recv {
+							report(pass, n.Pos(), ct, "op-assigned directly")
+						}
+					}
+				case *ast.BinaryExpr:
+					if n.Op == token.ADD || n.Op == token.SUB {
+						for _, operand := range []ast.Expr{n.X, n.Y} {
+							if ct := counterTypeOf(pass, operand); ct != nil && ct != recv {
+								report(pass, n.Pos(), ct, "used in direct arithmetic")
+								break
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, ct *types.Named, op string) {
+	pass.Reportf(pos, "saturating counter %s %s, bypassing its inc/dec/update helpers (the saturation bounds live there)", ct.Obj().Name(), op)
+}
+
+// receiverNamed returns the defined type a method's receiver is declared
+// on, or nil for plain functions.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// counterTypeOf returns the counter type of an expression, or nil.
+func counterTypeOf(pass *analysis.Pass, e ast.Expr) *types.Named {
+	named, _ := pass.TypesInfo.TypeOf(e).(*types.Named)
+	if named == nil {
+		return nil
+	}
+	if _, isInt := named.Underlying().(*types.Basic); !isInt {
+		return nil
+	}
+	if info := named.Underlying().(*types.Basic).Info(); info&types.IsInteger == 0 {
+		return nil
+	}
+	name := strings.ToLower(named.Obj().Name())
+	if strings.Contains(name, "counter") || strings.Contains(name, "ctr") {
+		return named
+	}
+	var hasInc, hasDec bool
+	for i := 0; i < named.NumMethods(); i++ {
+		switch strings.ToLower(named.Method(i).Name()) {
+		case "inc":
+			hasInc = true
+		case "dec":
+			hasDec = true
+		}
+	}
+	if hasInc && hasDec {
+		return named
+	}
+	return nil
+}

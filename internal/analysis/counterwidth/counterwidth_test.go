@@ -1,0 +1,12 @@
+package counterwidth_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/counterwidth"
+)
+
+func TestCounterArithmetic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), counterwidth.Analyzer, "dpbp/internal/bpred")
+}

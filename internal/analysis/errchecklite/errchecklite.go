@@ -1,0 +1,162 @@
+// Package errchecklite flags discarded error returns in the packages
+// where a swallowed error corrupts an experiment silently: the command
+// surface (cmd/...) and the experiment harness (internal/exp). A call
+// whose results include an error must be checked or assigned — writing
+// `_ = f()` is explicit and therefore accepted; using a call as a bare
+// statement (or go/defer) is not.
+//
+// "Lite" names the deliberate allowlist: fmt's Print family (stdout
+// diagnostics whose failure the commands cannot act on) and the
+// infallible writers strings.Builder and bytes.Buffer. Everything else —
+// including (*tabwriter.Writer).Flush, os file operations, and flag
+// parsing helpers — is checked.
+package errchecklite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dpbp/internal/analysis"
+)
+
+// Analyzer is the errcheck-lite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errchecklite",
+	Doc:  "flags ignored error returns in cmd/ and internal/exp",
+	Run:  run,
+}
+
+// ScopeSuffixes are the import-path shapes the check covers.
+var (
+	// ScopeSubtrees match any package under the subtree.
+	ScopeSubtrees = []string{"cmd"}
+	// ScopePackages match exactly.
+	ScopePackages = []string{"internal/exp"}
+)
+
+func inScope(path string) bool {
+	for _, s := range ScopeSubtrees {
+		if strings.HasPrefix(path, s+"/") || strings.Contains(path, "/"+s+"/") {
+			return true
+		}
+	}
+	for _, s := range ScopePackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || allowlisted(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is discarded; check it, or assign it to _ to ignore it explicitly", calleeName(pass, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errType) }
+
+// allowlisted exempts fmt's Print family and the infallible buffer
+// writers.
+func allowlisted(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				if full == "strings.Builder" || full == "bytes.Buffer" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := callee(pass, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() != pass.Pkg.Path() {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

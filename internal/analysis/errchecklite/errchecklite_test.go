@@ -1,0 +1,16 @@
+package errchecklite_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/errchecklite"
+)
+
+func TestCommandSurface(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errchecklite.Analyzer, "dpbp/cmd/demo")
+}
+
+func TestOutOfScopePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errchecklite.Analyzer, "dpbp/internal/uthread")
+}

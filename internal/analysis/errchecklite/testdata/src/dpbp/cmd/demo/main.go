@@ -1,0 +1,35 @@
+// Command demo is a fixture for the error-discipline check on the
+// command surface.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	os.Remove("stale.txt") // want `os\.Remove returns an error that is discarded`
+
+	f, err := os.Open("results.txt")
+	if err == nil {
+		defer f.Close() // want `File\.Close returns an error that is discarded`
+	}
+
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "bench\tipc") // fmt's Print family is allowlisted
+	w.Flush()                     // want `Writer\.Flush returns an error that is discarded`
+
+	b.WriteString("done\n") // strings.Builder cannot fail: allowlisted
+	fmt.Println(b.String())
+
+	_ = os.Remove("explicitly-ignored.txt") // assigning to _ is a decision, not an accident
+
+	go produce("late.txt") // want `produce returns an error that is discarded`
+}
+
+func produce(name string) error {
+	return os.WriteFile(name, nil, 0o644)
+}

@@ -1,0 +1,10 @@
+// Package uthread is a fixture outside errchecklite's scope: discarded
+// errors here are other analyzers' (and reviewers') business.
+package uthread
+
+import "os"
+
+// Cleanup discards an error without complaint from errchecklite.
+func Cleanup() {
+	os.Remove("scratch")
+}

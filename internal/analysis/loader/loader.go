@@ -1,0 +1,240 @@
+// Package loader type-checks this module's packages for the dpbplint
+// analyzers using only the standard library. It has two entry points:
+//
+//   - LoadModule shells out to `go list -json` (the go toolchain is the
+//     one build dependency this repository assumes) to enumerate package
+//     directories and build-constrained file lists, then parses and
+//     type-checks each package with go/types.
+//   - LoadTree loads GOPATH-shaped fixture trees (testdata/src/<path>)
+//     for the analysistest harness, where running the go tool would be
+//     both slow and wrong (testdata is invisible to it by design).
+//
+// Imports from the module (or fixture tree) resolve recursively through
+// the same loader; everything else falls back to the standard library's
+// source importer, which type-checks GOROOT packages from source. The
+// module has no third-party dependencies, so that chain is complete.
+//
+// Only non-test files are loaded: dpbplint guards the simulator and its
+// command-line surface, while test files are exercised directly by
+// `go test` (including the determinism and race gates).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dpbp/internal/analysis"
+)
+
+// Loader resolves, parses, and type-checks packages into a shared
+// token.FileSet.
+type Loader struct {
+	fset    *token.FileSet
+	srcRoot string             // GOPATH-style root for LoadTree; "" in module mode
+	metas   map[string]pkgMeta // import path -> source files
+	pkgs    map[string]*pkgEntry
+	std     types.Importer
+}
+
+type pkgMeta struct {
+	dir   string
+	files []string // absolute paths, non-test, build-constraint filtered
+}
+
+type pkgEntry struct {
+	unit     *analysis.Unit
+	loading  bool
+	firstErr error
+}
+
+func newLoader(fset *token.FileSet, srcRoot string) *Loader {
+	return &Loader{
+		fset:    fset,
+		srcRoot: srcRoot,
+		metas:   map[string]pkgMeta{},
+		pkgs:    map[string]*pkgEntry{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// goListPkg is the subset of `go list -json` output the loader consumes.
+type goListPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadModule enumerates patterns (e.g. "./...") in moduleDir via the go
+// tool and returns a type-checked unit per listed package, in path order.
+func LoadModule(fset *token.FileSet, moduleDir string, patterns []string) ([]*analysis.Unit, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	l := newLoader(fset, "")
+	var roots []string
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p goListPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		l.metas[p.ImportPath] = pkgMeta{dir: p.Dir, files: files}
+		roots = append(roots, p.ImportPath)
+	}
+	sort.Strings(roots)
+	return l.loadAll(roots)
+}
+
+// LoadTree loads the named import paths from a GOPATH-shaped tree rooted
+// at srcRoot (fixtures live at srcRoot/src/<importPath>/*.go).
+func LoadTree(fset *token.FileSet, srcRoot string, paths []string) ([]*analysis.Unit, error) {
+	return newLoader(fset, srcRoot).loadAll(paths)
+}
+
+func (l *Loader) loadAll(paths []string) ([]*analysis.Unit, error) {
+	units := make([]*analysis.Unit, 0, len(paths))
+	for _, path := range paths {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// resolve locates a package's sources, lazily in tree mode.
+func (l *Loader) resolve(path string) (pkgMeta, bool, error) {
+	if m, ok := l.metas[path]; ok {
+		return m, true, nil
+	}
+	if l.srcRoot == "" {
+		return pkgMeta{}, false, nil
+	}
+	dir := filepath.Join(l.srcRoot, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return pkgMeta{}, false, nil // not in the tree; caller falls back to stdlib
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return pkgMeta{}, false, fmt.Errorf("no Go files in fixture package %s (%s)", path, dir)
+	}
+	sort.Strings(files)
+	m := pkgMeta{dir: dir, files: files}
+	l.metas[path] = m
+	return m, true, nil
+}
+
+// load parses and type-checks one local package (and, recursively, its
+// local imports), caching the result.
+func (l *Loader) load(path string) (*analysis.Unit, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e.unit, e.firstErr
+	}
+	meta, ok, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("package %s not found in load scope", path)
+	}
+	e := &pkgEntry{loading: true}
+	l.pkgs[path] = e
+	defer func() { e.loading = false }()
+
+	files := make([]*ast.File, 0, len(meta.files))
+	for _, fn := range meta.files {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			e.firstErr = err
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return l.importPkg(p) }),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		err = errors.Join(typeErrs...)
+	}
+	if err != nil {
+		e.firstErr = fmt.Errorf("type-checking %s: %w", path, err)
+		return nil, e.firstErr
+	}
+	e.unit = &analysis.Unit{Path: path, Files: files, Pkg: pkg, Info: info}
+	return e.unit, nil
+}
+
+// importPkg serves import declarations: local packages through the
+// loader, everything else through the standard library source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if _, ok, err := l.resolve(path); err != nil {
+		return nil, err
+	} else if ok {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,16 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/simdeterminism"
+)
+
+func TestSimPackageViolations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simdeterminism.Analyzer, "dpbp/internal/cpu")
+}
+
+func TestNonSimPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simdeterminism.Analyzer, "dpbp/internal/exp")
+}

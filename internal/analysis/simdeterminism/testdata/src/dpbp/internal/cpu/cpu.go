@@ -1,0 +1,50 @@
+// Package cpu is a fixture standing in for the real simulation core:
+// its import path ends in internal/cpu, so simdeterminism applies.
+package cpu
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sim exercises every banned construct once.
+func Sim(weights map[uint64]float64) float64 {
+	var sum float64
+	for _, w := range weights { // want `range over map`
+		sum += w
+	}
+
+	type entry struct{ hits int }
+	table := map[string]*entry{}
+	for k := range table { // want `range over map`
+		_ = k
+	}
+
+	start := time.Now()              // want `time\.Now reads the wall clock`
+	_ = time.Since(start)            // want `time\.Since reads the wall clock`
+	sum += float64(rand.Intn(8))     // want `rand\.Intn draws from the process-global source`
+	sum += rand.Float64()            // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(2, func(i, j int) { // want `rand\.Shuffle draws from the process-global source`
+	})
+	return sum
+}
+
+// SortedSim shows the compliant forms: sorted key iteration, simulated
+// time, and explicitly seeded randomness (constructors and methods on the
+// seeded generator are allowed).
+func SortedSim(weights map[uint64]float64, cycle uint64) float64 {
+	keys := make([]uint64, 0, len(weights))
+	for k := range weights { //dpbplint:ignore simdeterminism collecting keys to sort is order-independent
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var sum float64
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	rng := rand.New(rand.NewSource(17))
+	sum += float64(rng.Intn(3)) * float64(cycle)
+	_ = time.Duration(cycle) // type conversions of time types are not clock reads
+	return sum
+}

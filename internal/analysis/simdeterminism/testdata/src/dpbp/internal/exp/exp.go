@@ -1,0 +1,13 @@
+// Package exp is a fixture for a non-simulation package: the same
+// constructs that simdeterminism flags in internal/cpu are legal here
+// (the harness orders its own output explicitly).
+package exp
+
+// Aggregate may range a map freely outside the simulation packages.
+func Aggregate(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

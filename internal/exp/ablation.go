@@ -88,6 +88,6 @@ func (a *AblationResult) String() string {
 	for _, r := range a.Rows {
 		fmt.Fprintf(w, "%s\t%s\n", r.Name, pct(r.Speedup))
 	}
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }

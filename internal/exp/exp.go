@@ -9,6 +9,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"text/tabwriter"
 
 	"dpbp/internal/cpu"
 	"dpbp/internal/pathprof"
@@ -97,6 +98,15 @@ func timingConfig(o Options, mode cpu.Mode, pruning, usePreds bool) cpu.Config {
 	cfg.UsePredictions = usePreds
 	cfg.MaxInsts = o.TimingInsts
 	return cfg
+}
+
+// flushTable flushes a tabwriter layered over an in-memory builder,
+// where the only possible write failure is a bug in the layout code
+// itself — so it is escalated rather than discarded.
+func flushTable(w *tabwriter.Writer) {
+	if err := w.Flush(); err != nil {
+		panic(fmt.Sprintf("exp: flushing in-memory table: %v", err))
+	}
 }
 
 // pct formats a speedup as a signed percentage.

@@ -80,7 +80,7 @@ func (f *Figure6Result) String() string {
 		fmt.Fprintf(w, "\t%s", pct(f.Geomean[n]))
 	}
 	fmt.Fprintln(w)
-	w.Flush()
+	flushTable(w)
 
 	labels := make([]string, len(f.Rows))
 	vals := make([]float64, len(f.Rows))
@@ -155,7 +155,7 @@ func (f *Figure7Result) String() string {
 		ov = append(ov, r.Overhead.Speedup(r.Base))
 	}
 	fmt.Fprintf(w, "Geomean\t\t%s\t%s\t%s\n", pct(geomean(np)), pct(geomean(pr)), pct(geomean(ov)))
-	w.Flush()
+	flushTable(w)
 
 	labels := make([]string, len(f.Runs))
 	vals := make([]float64, len(f.Runs))
@@ -233,7 +233,7 @@ func (f *Figure8Result) String() string {
 	if n > 0 {
 		fmt.Fprintf(w, "Average\t%.1f\t%.1f\t%.1f\t%.1f\n", s0/n, s1/n, c0/n, c1/n)
 	}
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }
 
@@ -281,7 +281,7 @@ func (f *Figure9Result) String() string {
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
 			r.Bench, e0, l0, u0, t0, e1, l1, u1, t1)
 	}
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }
 
@@ -340,6 +340,6 @@ func (p *PerfectResult) String() string {
 			r.Bench, r.BaselineIPC, r.PerfectIPC, r.Speedup, 100*r.BaselineMisprRatio)
 	}
 	fmt.Fprintf(w, "Geomean\t\t\t%.2fx\t\n", p.GeomeanSpeedup)
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }

@@ -74,6 +74,6 @@ func (p *ProfileGuidedResult) String() string {
 		gui = append(gui, r.GuidedSpeedup)
 	}
 	fmt.Fprintf(w, "Geomean\t\t%s\t%s\t\n", pct(geomean(dyn)), pct(geomean(gui)))
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }

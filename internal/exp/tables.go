@@ -79,7 +79,7 @@ func (t *Table1Result) String() string {
 		}
 		fmt.Fprintln(w)
 	}
-	w.Flush()
+	flushTable(w)
 	return b.String()
 }
 
@@ -145,7 +145,7 @@ func (t *Table2Result) String() string {
 			}
 			fmt.Fprintln(w)
 		}
-		w.Flush()
+		flushTable(w)
 	}
 	return b.String()
 }

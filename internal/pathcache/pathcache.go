@@ -85,14 +85,15 @@ type Cache struct {
 
 // New returns a Path Cache configured by cfg.
 func New(cfg Config) *Cache {
+	d := DefaultConfig()
 	if cfg.Entries <= 0 {
-		cfg.Entries = 8 << 10
+		cfg.Entries = d.Entries
 	}
 	if cfg.Ways <= 0 {
-		cfg.Ways = 8
+		cfg.Ways = d.Ways
 	}
 	if cfg.TrainInterval <= 0 {
-		cfg.TrainInterval = 32
+		cfg.TrainInterval = d.TrainInterval
 	}
 	nsets := cfg.Entries / cfg.Ways
 	// Round set count to a power of two for mask indexing.

@@ -73,14 +73,15 @@ func DefaultConfig() Config {
 
 // Run profiles prog under cfg.
 func Run(prog *program.Program, cfg Config) *Profile {
+	d := DefaultConfig()
 	if len(cfg.Ns) == 0 {
-		cfg.Ns = []int{4, 10, 16}
+		cfg.Ns = d.Ns
 	}
 	if cfg.MaxInsts == 0 {
-		cfg.MaxInsts = 2_000_000
+		cfg.MaxInsts = d.MaxInsts
 	}
 	if cfg.Predictor.PHTEntries == 0 {
-		cfg.Predictor = bpred.DefaultConfig()
+		cfg.Predictor = d.Predictor
 	}
 
 	p := &Profile{

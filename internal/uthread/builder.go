@@ -414,7 +414,9 @@ func moveElim(insts []MicroInst) []MicroInst {
 	}
 	invalidate := func(dst isa.Reg) {
 		delete(rename, dst)
-		for k, v := range rename {
+		// Every pair with value dst is deleted no matter the visit
+		// order, so map iteration cannot perturb the result.
+		for k, v := range rename { //dpbplint:ignore simdeterminism deletes every k with v==dst; order-independent
 			if v == dst {
 				delete(rename, k)
 			}

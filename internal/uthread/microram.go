@@ -1,6 +1,8 @@
 package uthread
 
 import (
+	"sort"
+
 	"dpbp/internal/isa"
 	"dpbp/internal/path"
 )
@@ -109,11 +111,14 @@ func (m *MicroRAM) NeedsRebuild(id path.ID) bool {
 	return false
 }
 
-// Routines returns all stored routines, for statistics (Figure 8).
+// Routines returns all stored routines in Path_Id order, for statistics
+// (Figure 8). The explicit order keeps every consumer — averages over
+// floats, rendered listings — bit-identical across runs.
 func (m *MicroRAM) Routines() []*Routine {
 	out := make([]*Routine, 0, len(m.routines))
-	for _, r := range m.routines {
+	for _, r := range m.routines { //dpbplint:ignore simdeterminism collection is sorted by PathID below
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PathID < out[j].PathID })
 	return out
 }
