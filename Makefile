@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench ci
+.PHONY: all build vet lint test race bench bench-json ci
 
 all: build vet lint test
 
@@ -18,14 +18,21 @@ lint:
 test:
 	$(GO) test ./...
 
-# race covers the two packages where concurrency lives (the experiment
-# fan-out and the timing core) plus the root-package determinism
-# regression tests, which drive the fan-out end to end.
+# race covers the packages where concurrency lives (the scheduler, the
+# experiment fan-out, and the timing core) plus the root-package
+# determinism regression tests, which drive the fan-out end to end.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/cpu/...
+	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/...
 	$(GO) test -race -run Determinism .
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-json emits the root-package benchmarks (the per-figure experiment
+# benches and the allocation benches) as machine-readable go-test JSON
+# events on stdout, for diffing against BENCH_seed.json.
+BENCHTIME ?= 1x
+bench-json:
+	@$(GO) test -json -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
 
 ci: build vet lint test race

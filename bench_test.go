@@ -8,6 +8,7 @@ package dpbp
 // command regenerates the full-size tables.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,13 +26,13 @@ func benchOpts() ExperimentOptions {
 // paths) across the suite; reports the n=10 average difficult-path count.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := Table1(benchOpts())
+		r, err := Table1(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		var d10 float64
 		for _, row := range r.Rows {
-			d10 += float64(row.ByN[1].DifficultAt[0.10])
+			d10 += float64(row.ByN[1].Difficult[1])
 		}
 		b.ReportMetric(d10/float64(len(r.Rows)), "difficult-paths(n=10,T=.10)")
 	}
@@ -41,13 +42,13 @@ func BenchmarkTable1(b *testing.B) {
 // average misprediction coverage.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := Table2(benchOpts())
+		r, err := Table2(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		var mis float64
 		for _, row := range r.Rows {
-			mis += row.ByT[1].ByN[10].MisPct
+			mis += row.ByT[1].ByN[1].MisPct // T=.10 block, n=10 column
 		}
 		b.ReportMetric(mis/float64(len(r.Rows)), "mis-coverage-pct(n=10,T=.10)")
 	}
@@ -57,7 +58,7 @@ func BenchmarkTable2(b *testing.B) {
 // n=10 geomean speed-up in percent.
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := Figure6(benchOpts())
+		r, err := Figure6(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func figure7Metrics(runs []Figure7Runs) (np, pr, ov float64) {
 // pruning geomean speed-up in percent.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, err := RunFigure7Set(benchOpts())
+		runs, _, err := RunFigure7Set(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func BenchmarkFigure7(b *testing.B) {
 // reports the pruned average routine size.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, err := RunFigure7Set(benchOpts())
+		runs, _, err := RunFigure7Set(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkFigure8(b *testing.B) {
 // early-arrival percentage.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, err := RunFigure7Set(benchOpts())
+		runs, _, err := RunFigure7Set(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFigure9(b *testing.B) {
 // reports the geomean speed-up as a multiplier.
 func BenchmarkPerfect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := Perfect(benchOpts())
+		r, err := Perfect(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,4 +256,53 @@ func BenchmarkPathProfiler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Profile(w, PathProfileConfig{MaxInsts: 200_000})
 	}
+}
+
+// allocSweepConfigs returns mechanism variants that keep component sizes
+// fixed, so a reused machine resets in place instead of reallocating.
+func allocSweepConfigs() []MachineConfig {
+	mk := func(mut func(*MachineConfig)) MachineConfig {
+		c := cpu.DefaultConfig()
+		c.MaxInsts = 20_000
+		mut(&c)
+		return c
+	}
+	return []MachineConfig{
+		mk(func(c *MachineConfig) {}),
+		mk(func(c *MachineConfig) { c.Pruning = false }),
+		mk(func(c *MachineConfig) { c.AbortEnabled = false }),
+		mk(func(c *MachineConfig) { c.PathCache.PlainLRU = true }),
+		mk(func(c *MachineConfig) { c.PathCache.TrainInterval = 8 }),
+		mk(func(c *MachineConfig) { c.Throttle = true }),
+	}
+}
+
+// BenchmarkAblationSweepAllocs quantifies what machine reuse buys the
+// experiment harness: the same six-variant sweep run on fresh machines
+// vs a cpu.Pool. Run with -benchmem; the pooled variant should allocate
+// materially less (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkAblationSweepAllocs(b *testing.B) {
+	w := MustWorkload("comp")
+	cfgs := allocSweepConfigs()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				cpu.Run(w.Program, cfg)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		var pool cpu.Pool
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				m := pool.Get()
+				if _, err := m.RunContext(context.Background(), w.Program, cfg); err != nil {
+					b.Fatal(err)
+				}
+				pool.Put(m)
+			}
+		}
+	})
 }

@@ -2,100 +2,223 @@
 //
 // Usage:
 //
-//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|all [flags]
+//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|guided|ablations|all [flags]
 //
 // Flags:
 //
 //	-bench comp,gcc,...   benchmarks to run (default: all twenty)
-//	-insts N              timing-run instruction budget (default 400000)
-//	-profinsts N          profiling-run instruction budget (default 1000000)
-//	-par N                parallel benchmark runs (default NumCPU)
+//	-format text|json|csv output format (default text)
+//	-insts N              timing-run instruction budget (0 = library default)
+//	-profinsts N          profiling-run instruction budget (0 = library default)
+//	-par N                parallel benchmark runs (0 = NumCPU)
+//	-timeout D            whole-invocation time budget (e.g. 90s; 0 = none)
+//
+// Instruction budgets left at zero use the library defaults, so the
+// numbers live in one place (internal/exp). When -timeout expires the
+// sweeps drain and emit partial results: completed benchmarks keep their
+// rows, and every missing one is listed in an explicit error section
+// (text marks the output PARTIAL RESULT; JSON and CSV carry the errors
+// structurally).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"dpbp"
+	"dpbp/internal/report"
 )
 
 func main() {
 	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, all")
 	bench := flag.String("bench", "", "comma-separated benchmark names (default: all)")
-	insts := flag.Uint64("insts", 400_000, "timing-run instruction budget")
-	profInsts := flag.Uint64("profinsts", 1_000_000, "profiling-run instruction budget")
-	par := flag.Int("par", 0, "parallel benchmark runs (default NumCPU)")
+	format := flag.String("format", "", "output format: text, json, csv (default text)")
+	insts := flag.Uint64("insts", 0, "timing-run instruction budget (0 = library default)")
+	profInsts := flag.Uint64("profinsts", 0, "profiling-run instruction budget (0 = library default)")
+	par := flag.Int("par", 0, "parallel benchmark runs (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 0, "whole-invocation time budget; expired sweeps emit partial results (0 = none)")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := dpbp.ExperimentOptions{
+		Benchmarks:   parseBenchList(*bench),
 		TimingInsts:  *insts,
 		ProfileInsts: *profInsts,
 		Parallelism:  *par,
 	}
-	if *bench != "" {
-		opts.Benchmarks = strings.Split(*bench, ",")
-	}
 
-	if err := run(*expName, opts); err != nil {
+	if err := run(ctx, os.Stdout, *expName, *format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dpbp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, opts dpbp.ExperimentOptions) error {
-	show := func(s fmt.Stringer, err error) error {
-		if err != nil {
-			return err
-		}
-		fmt.Println(s.String())
+// parseBenchList splits a -bench argument; empty means all benchmarks.
+func parseBenchList(s string) []string {
+	if s == "" {
 		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// section is one named experiment result, in output order.
+type section struct {
+	key string
+	val any
+}
+
+// run executes the named experiment(s) and renders them to w. It is the
+// whole CLI behind flag parsing, so tests can drive it directly.
+func run(ctx context.Context, w io.Writer, name, format string, opts dpbp.ExperimentOptions) error {
+	if err := checkFormat(format); err != nil {
+		return err
+	}
+	sections, err := collect(ctx, name, opts)
+	if err != nil {
+		return err
+	}
+	return render(w, format, sections)
+}
+
+// checkFormat rejects unknown formats before any experiment runs.
+func checkFormat(format string) error {
+	for _, f := range append([]string{""}, report.Formats()...) {
+		if format == f {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown format %q (have %v)", format, report.Formats())
+}
+
+// collect runs the named experiment, or all of them in the fixed order
+// (sharing the Figure 7-9 timing runs).
+func collect(ctx context.Context, name string, opts dpbp.ExperimentOptions) ([]section, error) {
+	one := func(key string, v any, err error) ([]section, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []section{{key, v}}, nil
 	}
 	switch name {
 	case "table1":
-		return show(result(dpbp.Table1(opts)))
+		v, err := dpbp.Table1(ctx, opts)
+		return one("table1", v, err)
 	case "table2":
-		return show(result(dpbp.Table2(opts)))
+		v, err := dpbp.Table2(ctx, opts)
+		return one("table2", v, err)
 	case "fig6":
-		return show(result(dpbp.Figure6(opts)))
+		v, err := dpbp.Figure6(ctx, opts)
+		return one("figure6", v, err)
 	case "fig7":
-		return show(result(dpbp.Figure7(opts)))
+		v, err := dpbp.Figure7(ctx, opts)
+		return one("figure7", v, err)
 	case "fig8":
-		return show(result(dpbp.Figure8(opts)))
+		v, err := dpbp.Figure8(ctx, opts)
+		return one("figure8", v, err)
 	case "fig9":
-		return show(result(dpbp.Figure9(opts)))
+		v, err := dpbp.Figure9(ctx, opts)
+		return one("figure9", v, err)
 	case "perfect":
-		return show(result(dpbp.Perfect(opts)))
+		v, err := dpbp.Perfect(ctx, opts)
+		return one("perfect", v, err)
 	case "guided":
-		return show(result(dpbp.ProfileGuided(opts)))
+		v, err := dpbp.ProfileGuided(ctx, opts)
+		return one("guided", v, err)
 	case "ablations":
-		return show(result(dpbp.Ablations(opts)))
+		v, err := dpbp.Ablations(ctx, opts)
+		return one("ablations", v, err)
 	case "all":
-		if err := show(result(dpbp.Table1(opts))); err != nil {
-			return err
-		}
-		if err := show(result(dpbp.Table2(opts))); err != nil {
-			return err
-		}
-		if err := show(result(dpbp.Perfect(opts))); err != nil {
-			return err
-		}
-		if err := show(result(dpbp.Figure6(opts))); err != nil {
-			return err
-		}
-		runs, err := dpbp.RunFigure7Set(opts)
+		var out []section
+		t1, err := dpbp.Table1(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println((&dpbp.Figure7Result{Runs: runs}).String())
-		fmt.Println(dpbp.Figure8FromRuns(runs).String())
-		fmt.Println(dpbp.Figure9FromRuns(runs).String())
-		return nil
+		out = append(out, section{"table1", t1})
+		t2, err := dpbp.Table2(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{"table2", t2})
+		pf, err := dpbp.Perfect(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{"perfect", pf})
+		f6, err := dpbp.Figure6(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{"figure6", f6})
+		runs, runErrs, err := dpbp.RunFigure7Set(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			section{"figure7", &dpbp.Figure7Result{Runs: runs, Errors: runErrs}},
+			section{"figure8", dpbp.Figure8FromRuns(runs)},
+			section{"figure9", dpbp.Figure9FromRuns(runs)})
+		return out, nil
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
 }
 
-// result adapts (T, error) pairs to (fmt.Stringer, error).
-func result[T fmt.Stringer](v T, err error) (fmt.Stringer, error) { return v, err }
+// render writes the sections to w. Text sections are separated by a blank
+// line (matching the historical output); JSON always forms one document,
+// keyed by section when more than one experiment ran; CSV sections are
+// introduced by a "# key" comment line when more than one ran.
+func render(w io.Writer, format string, sections []section) error {
+	switch format {
+	case "", report.FormatText:
+		for _, s := range sections {
+			if err := report.Text(w, s.val); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case report.FormatJSON:
+		if len(sections) == 1 {
+			return report.JSON(w, sections[0].val)
+		}
+		doc := make(map[string]any, len(sections)+1)
+		order := make([]string, len(sections))
+		for i, s := range sections {
+			doc[s.key] = s.val
+			order[i] = s.key
+		}
+		doc["order"] = order
+		return report.JSON(w, doc)
+	case report.FormatCSV:
+		for i, s := range sections {
+			if len(sections) > 1 {
+				if i > 0 {
+					fmt.Fprintln(w)
+				}
+				fmt.Fprintf(w, "# %s\n", s.key)
+			}
+			if err := report.CSV(w, s.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (have %v)", format, report.Formats())
+}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,32 +21,118 @@ func tiny() dpbp.ExperimentOptions {
 
 func TestRunDispatch(t *testing.T) {
 	for _, name := range []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "perfect", "guided"} {
-		if err := run(name, tiny()); err != nil {
+		var b bytes.Buffer
+		if err := run(context.Background(), &b, name, "", tiny()); err != nil {
 			t.Errorf("run(%q) = %v", name, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("run(%q) wrote nothing", name)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	err := run("bogus", tiny())
+	err := run(context.Background(), &bytes.Buffer{}, "bogus", "", tiny())
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("run(bogus) = %v", err)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	err := run(context.Background(), &bytes.Buffer{}, "table1", "yaml", tiny())
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("run(format=yaml) = %v", err)
 	}
 }
 
 func TestRunBadBenchmark(t *testing.T) {
 	opts := tiny()
 	opts.Benchmarks = []string{"nope"}
-	if err := run("table1", opts); err == nil {
+	if err := run(context.Background(), &bytes.Buffer{}, "table1", "", opts); err == nil {
 		t.Error("bad benchmark accepted")
 	}
 }
 
-func TestRunAll(t *testing.T) {
+func TestParseBenchList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"gcc", []string{"gcc"}},
+		{"gcc,li,mcf_2k", []string{"gcc", "li", "mcf_2k"}},
+		{" gcc , li ", []string{"gcc", "li"}},
+		{"gcc,,li", []string{"gcc", "li"}},
+	}
+	for _, c := range cases {
+		if got := parseBenchList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseBenchList(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "table1", "json", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []struct {
+			Bench string `json:"bench"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].Bench != "comp" {
+		t.Errorf("unexpected JSON document: %s", b.String())
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "table1", "csv", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "bench,") {
+		t.Errorf("unexpected CSV:\n%s", b.String())
+	}
+}
+
+// TestRunAllJSON is the acceptance check for machine-readable full runs:
+// -exp all -format json must emit one valid JSON document containing
+// every section.
+func TestRunAllJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
-	if err := run("all", tiny()); err != nil {
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "all", "json", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"table1", "table2", "perfect", "figure6", "figure7", "figure8", "figure9", "order"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("all-JSON document missing %q", key)
+		}
+	}
+}
+
+func TestRunAllText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "all", "", tiny()); err != nil {
 		t.Errorf("run(all) = %v", err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Section 1", "Figure 6", "Figure 7", "Figure 8", "Figure 9"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("all-text output missing %q", want)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package dpbp_test
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -80,18 +81,26 @@ func TestGOMAXPROCSDeterminism(t *testing.T) {
 
 func table1Bytes(t *testing.T) string {
 	t.Helper()
-	res, err := dpbp.Table1(detOptions())
+	res, err := dpbp.Table1(context.Background(), detOptions())
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}
-	return res.String()
+	s, err := dpbp.Text(res)
+	if err != nil {
+		t.Fatalf("Text: %v", err)
+	}
+	return s
 }
 
 func figure6Bytes(t *testing.T) string {
 	t.Helper()
-	res, err := dpbp.Figure6(detOptions())
+	res, err := dpbp.Figure6(context.Background(), detOptions())
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
 	}
-	return res.String()
+	s, err := dpbp.Text(res)
+	if err != nil {
+		t.Fatalf("Text: %v", err)
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package dpbp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -81,60 +82,94 @@ func TestProfileAPI(t *testing.T) {
 	}
 }
 
+// text renders a result through the root Text helper, failing the test
+// on renderer errors so assertions can stay one-line.
+func text(t *testing.T, v any) string {
+	t.Helper()
+	s, err := Text(v)
+	if err != nil {
+		t.Fatalf("Text(%T): %v", v, err)
+	}
+	return s
+}
+
 func TestExperimentWrappers(t *testing.T) {
+	ctx := context.Background()
 	o := ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 100_000, ProfileInsts: 100_000}
-	t1, err := Table1(o)
-	if err != nil || !strings.Contains(t1.String(), "Table 1") {
+	t1, err := Table1(ctx, o)
+	if err != nil || !strings.Contains(text(t, t1), "Table 1") {
 		t.Errorf("Table1 wrapper: %v", err)
 	}
-	t2, err := Table2(o)
-	if err != nil || !strings.Contains(t2.String(), "Table 2") {
+	t2, err := Table2(ctx, o)
+	if err != nil || !strings.Contains(text(t, t2), "Table 2") {
 		t.Errorf("Table2 wrapper: %v", err)
 	}
-	f6, err := Figure6(o)
-	if err != nil || !strings.Contains(f6.String(), "Figure 6") {
+	f6, err := Figure6(ctx, o)
+	if err != nil || !strings.Contains(text(t, f6), "Figure 6") {
 		t.Errorf("Figure6 wrapper: %v", err)
 	}
-	runs, err := RunFigure7Set(o)
-	if err != nil || len(runs) != 1 {
-		t.Fatalf("RunFigure7Set wrapper: %v", err)
+	runs, runErrs, err := RunFigure7Set(ctx, o)
+	if err != nil || len(runErrs) != 0 || len(runs) != 1 {
+		t.Fatalf("RunFigure7Set wrapper: %v %v", err, runErrs)
 	}
-	if !strings.Contains((&Figure7Result{Runs: runs}).String(), "Figure 7") {
+	if !strings.Contains(text(t, &Figure7Result{Runs: runs}), "Figure 7") {
 		t.Error("Figure7 render")
 	}
-	if !strings.Contains(Figure8FromRuns(runs).String(), "Figure 8") {
+	if !strings.Contains(text(t, Figure8FromRuns(runs)), "Figure 8") {
 		t.Error("Figure8 render")
 	}
-	if !strings.Contains(Figure9FromRuns(runs).String(), "Figure 9") {
+	if !strings.Contains(text(t, Figure9FromRuns(runs)), "Figure 9") {
 		t.Error("Figure9 render")
 	}
-	pf, err := Perfect(o)
+	pf, err := Perfect(ctx, o)
 	if err != nil || pf.GeomeanSpeedup <= 1 {
 		t.Errorf("Perfect wrapper: %v %v", err, pf)
 	}
 }
 
 func TestStandaloneFigureWrappers(t *testing.T) {
+	ctx := context.Background()
 	o := ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 60_000, ProfileInsts: 60_000}
-	f7, err := Figure7(o)
-	if err != nil || !strings.Contains(f7.String(), "Figure 7") {
+	f7, err := Figure7(ctx, o)
+	if err != nil || !strings.Contains(text(t, f7), "Figure 7") {
 		t.Errorf("Figure7: %v", err)
 	}
-	f8, err := Figure8(o)
-	if err != nil || !strings.Contains(f8.String(), "Figure 8") {
+	f8, err := Figure8(ctx, o)
+	if err != nil || !strings.Contains(text(t, f8), "Figure 8") {
 		t.Errorf("Figure8: %v", err)
 	}
-	f9, err := Figure9(o)
-	if err != nil || !strings.Contains(f9.String(), "Figure 9") {
+	f9, err := Figure9(ctx, o)
+	if err != nil || !strings.Contains(text(t, f9), "Figure 9") {
 		t.Errorf("Figure9: %v", err)
 	}
-	pg, err := ProfileGuided(o)
-	if err != nil || !strings.Contains(pg.String(), "profile-guided") {
+	pg, err := ProfileGuided(ctx, o)
+	if err != nil || !strings.Contains(text(t, pg), "profile-guided") {
 		t.Errorf("ProfileGuided: %v", err)
 	}
-	ab, err := Ablations(ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 30_000})
-	if err != nil || !strings.Contains(ab.String(), "Ablations") {
+	ab, err := Ablations(ctx, ExperimentOptions{Benchmarks: []string{"comp"}, TimingInsts: 30_000})
+	if err != nil || !strings.Contains(text(t, ab), "Ablations") {
 		t.Errorf("Ablations: %v", err)
+	}
+}
+
+// TestRenderFormats sanity-checks the root Render helper across formats.
+func TestRenderFormats(t *testing.T) {
+	r, err := Table1(context.Background(),
+		ExperimentOptions{Benchmarks: []string{"comp"}, ProfileInsts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"", FormatText, FormatJSON, FormatCSV} {
+		var b strings.Builder
+		if err := Render(&b, format, r); err != nil {
+			t.Errorf("Render(%q): %v", format, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("Render(%q): empty output", format)
+		}
+	}
+	if err := Render(&strings.Builder{}, "yaml", r); err == nil {
+		t.Error("Render accepted unknown format")
 	}
 }
 

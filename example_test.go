@@ -1,6 +1,7 @@
 package dpbp_test
 
 import (
+	"context"
 	"fmt"
 
 	"dpbp"
@@ -66,7 +67,7 @@ func ExampleMachineConfig_onBuild() {
 // ExampleFigure7 regenerates the paper's headline figure for a subset of
 // benchmarks.
 func ExampleFigure7() {
-	r, err := dpbp.Figure7(dpbp.ExperimentOptions{
+	r, err := dpbp.Figure7(context.Background(), dpbp.ExperimentOptions{
 		Benchmarks:  []string{"comp"},
 		TimingInsts: 100_000,
 	})

@@ -1,14 +1,26 @@
 package dpbp
 
-import "dpbp/internal/exp"
+import (
+	"context"
+	"io"
+
+	"dpbp/internal/exp"
+	"dpbp/internal/report"
+	"dpbp/internal/results"
+)
 
 // ExperimentOptions selects benchmarks and budgets for the paper's
 // experiments. The zero value runs all twenty benchmarks with the default
-// instruction budgets.
+// instruction budgets, no per-run timeout, and NumCPU parallelism.
 type ExperimentOptions = exp.Options
 
-// Experiment results, one type per paper table/figure; each renders a
-// paper-shaped text table via String.
+// RunError records one benchmark run that failed to complete (panic,
+// cancellation, per-run timeout). Results carrying a non-empty Errors
+// list are partial: the surviving rows are complete and correct.
+type RunError = results.RunError
+
+// Experiment results, one plain data struct per paper table/figure
+// (JSON-taggable; see Render for output formats).
 type (
 	// Table1Result holds unique-path counts, average scopes, and
 	// difficult-path counts (paper Table 1).
@@ -37,47 +49,85 @@ type (
 	Figure7Runs = exp.Figure7Runs
 )
 
+// Output formats accepted by Render.
+const (
+	FormatText = report.FormatText
+	FormatJSON = report.FormatJSON
+	FormatCSV  = report.FormatCSV
+)
+
+// Render writes an experiment result to w in the given format (""
+// means text). Text output is the paper-shaped table; JSON and CSV are
+// machine-readable.
+func Render(w io.Writer, format string, result any) error {
+	return report.Render(w, format, result)
+}
+
+// Text renders an experiment result as its paper-shaped text table. It
+// errors only on a value that is not an experiment result type.
+func Text(result any) (string, error) { return report.TextString(result) }
+
 // Table1 reproduces paper Table 1.
-func Table1(o ExperimentOptions) (*Table1Result, error) { return exp.Table1(o) }
+func Table1(ctx context.Context, o ExperimentOptions) (*Table1Result, error) {
+	return exp.Table1(ctx, o)
+}
 
 // Table2 reproduces paper Table 2.
-func Table2(o ExperimentOptions) (*Table2Result, error) { return exp.Table2(o) }
+func Table2(ctx context.Context, o ExperimentOptions) (*Table2Result, error) {
+	return exp.Table2(ctx, o)
+}
 
 // Figure6 reproduces paper Figure 6.
-func Figure6(o ExperimentOptions) (*Figure6Result, error) { return exp.Figure6(o) }
+func Figure6(ctx context.Context, o ExperimentOptions) (*Figure6Result, error) {
+	return exp.Figure6(ctx, o)
+}
 
 // Figure7 reproduces paper Figure 7.
-func Figure7(o ExperimentOptions) (*Figure7Result, error) { return exp.Figure7(o) }
+func Figure7(ctx context.Context, o ExperimentOptions) (*Figure7Result, error) {
+	return exp.Figure7(ctx, o)
+}
 
 // Figure8 reproduces paper Figure 8.
-func Figure8(o ExperimentOptions) (*Figure8Result, error) { return exp.Figure8(o) }
+func Figure8(ctx context.Context, o ExperimentOptions) (*Figure8Result, error) {
+	return exp.Figure8(ctx, o)
+}
 
 // Figure9 reproduces paper Figure 9.
-func Figure9(o ExperimentOptions) (*Figure9Result, error) { return exp.Figure9(o) }
+func Figure9(ctx context.Context, o ExperimentOptions) (*Figure9Result, error) {
+	return exp.Figure9(ctx, o)
+}
 
 // Perfect reproduces the Section 1 perfect-prediction bound.
-func Perfect(o ExperimentOptions) (*PerfectResult, error) { return exp.Perfect(o) }
+func Perfect(ctx context.Context, o ExperimentOptions) (*PerfectResult, error) {
+	return exp.Perfect(ctx, o)
+}
 
 // ProfileGuided runs the profile-guided-promotion extension experiment.
-func ProfileGuided(o ExperimentOptions) (*ProfileGuidedResult, error) { return exp.ProfileGuided(o) }
+func ProfileGuided(ctx context.Context, o ExperimentOptions) (*ProfileGuidedResult, error) {
+	return exp.ProfileGuided(ctx, o)
+}
 
 // RunFigure7Set performs the four timing runs behind Figures 7-9 once, so
 // the three figures can be rendered from shared runs:
 //
-//	runs, _ := dpbp.RunFigure7Set(opts)
-//	fmt.Println((&dpbp.Figure7Result{Runs: runs}).String())
-//	fmt.Println(dpbp.Figure8FromRuns(runs).String())
-//	fmt.Println(dpbp.Figure9FromRuns(runs).String())
-func RunFigure7Set(o ExperimentOptions) ([]Figure7Runs, error) { return exp.RunFigure7Set(o) }
+//	runs, runErrs, _ := dpbp.RunFigure7Set(ctx, opts)
+//	fmt.Print(dpbp.Text(&dpbp.Figure7Result{Runs: runs, Errors: runErrs}))
+//	fmt.Print(dpbp.Text(dpbp.Figure8FromRuns(runs)))
+//	fmt.Print(dpbp.Text(dpbp.Figure9FromRuns(runs)))
+func RunFigure7Set(ctx context.Context, o ExperimentOptions) ([]Figure7Runs, []RunError, error) {
+	return exp.RunFigure7Set(ctx, o)
+}
 
-// Figure8FromRuns renders Figure 8 from an existing run set.
+// Figure8FromRuns builds Figure 8 from an existing run set.
 func Figure8FromRuns(runs []Figure7Runs) *Figure8Result { return exp.Figure8FromRuns(runs) }
 
-// Figure9FromRuns renders Figure 9 from an existing run set.
+// Figure9FromRuns builds Figure 9 from an existing run set.
 func Figure9FromRuns(runs []Figure7Runs) *Figure9Result { return exp.Figure9FromRuns(runs) }
 
 // AblationResult holds the design-choice ablation study.
 type AblationResult = exp.AblationResult
 
 // Ablations runs the design-choice ablation study from DESIGN.md §5.
-func Ablations(o ExperimentOptions) (*AblationResult, error) { return exp.Ablations(o) }
+func Ablations(ctx context.Context, o ExperimentOptions) (*AblationResult, error) {
+	return exp.Ablations(ctx, o)
+}

@@ -1,0 +1,19 @@
+package cache
+
+// Reset invalidates every line and zeroes the statistics, returning the
+// cache to its post-construction state without reallocating the tag
+// arrays.
+func (c *Cache) Reset() {
+	for s := range c.valid {
+		vs, ls := c.valid[s], c.lru[s]
+		for w := range vs {
+			vs[w] = false
+			// Victim selection consults lru[0] before checking its
+			// validity, so stale ticks would steer replacement.
+			ls[w] = 0
+		}
+	}
+	c.tick = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

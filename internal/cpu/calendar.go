@@ -21,6 +21,17 @@ func newCalendar(limit int) *calendar {
 	}
 }
 
+// reset clears every slot so the calendar can serve another run. Both
+// arrays must be zeroed: slot validation compares stored absolute cycles,
+// and a new run's cycle numbers restart from zero, so stale entries could
+// otherwise masquerade as live bookings.
+func (c *calendar) reset() {
+	for i := range c.used {
+		c.used[i] = 0
+		c.cycle[i] = 0
+	}
+}
+
 func (c *calendar) usedAt(cyc uint64) uint16 {
 	i := cyc % calendarHorizon
 	if c.cycle[i] != cyc {

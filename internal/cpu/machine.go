@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"context"
+
 	"dpbp/internal/bpred"
 	"dpbp/internal/cache"
 	"dpbp/internal/emu"
@@ -14,8 +16,13 @@ import (
 	"dpbp/internal/vpred"
 )
 
-// machine holds the state of one timing run.
-type machine struct {
+// Machine holds the state of one timing run. A Machine is reusable:
+// Reset rewinds every component for a new (program, config) pair,
+// recycling the large allocations — window ring, resource calendars,
+// predictor tables, cache arrays — that dominate a fresh construction.
+// Obtain reusable instances from NewMachine or a Pool; the package-level
+// Run remains the one-shot convenience path.
+type Machine struct {
 	cfg  Config
 	prog *program.Program
 	em   *emu.Machine
@@ -69,36 +76,99 @@ type machine struct {
 	res Result
 }
 
-// Run executes prog on the configured machine and returns its statistics.
+// Run executes prog on a fresh machine and returns its statistics.
 func Run(prog *program.Program, cfg Config) *Result {
+	r, _ := NewMachine().RunContext(context.Background(), prog, cfg)
+	return r
+}
+
+// NewMachine returns an empty reusable machine. Reset (or RunContext,
+// which calls it) sizes the components on first use.
+func NewMachine() *Machine { return &Machine{} }
+
+// Reset prepares the machine to run prog under cfg. Components whose
+// sizing matches the previous run are rewound in place; the rest are
+// reallocated. A reset machine is bit-identical in behaviour to a freshly
+// constructed one (TestResetMatchesFresh holds this).
+func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	cfg = cfg.withDefaults()
-	m := &machine{
-		cfg:  cfg,
-		prog: prog,
-		em:   emu.New(prog),
-		pred: bpred.New(cfg.Predictor),
-		vp:   vpred.New(cfg.VPred),
-		ap:   vpred.New(cfg.VPred),
-		msys: mem.New(cfg.Mem),
-		l1i: cache.New(cache.Config{
-			SizeWords: cfg.L1IWords, Ways: cfg.L1IWays, LineWords: 8,
-		}),
-		tracker:      path.NewTracker(cfg.N),
-		pathCache:    pathcache.New(cfg.PathCache),
-		prb:          uthread.NewPRB(cfg.PRBEntries),
-		builder:      uthread.NewBuilder(buildConfigOf(cfg)),
-		uram:         uthread.NewMicroRAM(cfg.MicroRAMEntries),
-		predCache:    pcache.New(cfg.PCacheEntries),
-		routineReady: make(map[path.ID]uint64),
-		promoted:     make(map[path.ID]bool),
-		ctxs:         make([]mctx, cfg.Microcontexts),
-		fus:          newCalendar(cfg.FUs),
-		ports:        newCalendar(cfg.L1Ports),
-		retRing:      make([]uint64, cfg.WindowSize),
+	prev := m.cfg
+	fresh := m.em == nil
+	m.cfg = cfg
+	m.prog = prog
+
+	if fresh {
+		m.em = emu.New(prog)
+	} else {
+		m.em.Reset(prog)
 	}
-	m.res.Benchmark = prog.Name
-	m.res.Mode = cfg.Mode
-	m.res.Pruning = cfg.Pruning
+	if fresh || prev.Predictor != cfg.Predictor {
+		m.pred = bpred.New(cfg.Predictor)
+	} else {
+		m.pred.Reset()
+	}
+	if fresh || prev.VPred != cfg.VPred {
+		m.vp = vpred.New(cfg.VPred)
+		m.ap = vpred.New(cfg.VPred)
+	} else {
+		m.vp.Reset()
+		m.ap.Reset()
+	}
+	if fresh || prev.Mem != cfg.Mem {
+		m.msys = mem.New(cfg.Mem)
+	} else {
+		m.msys.Reset()
+	}
+	if fresh || prev.L1IWords != cfg.L1IWords || prev.L1IWays != cfg.L1IWays {
+		m.l1i = cache.New(cache.Config{
+			SizeWords: cfg.L1IWords, Ways: cfg.L1IWays, LineWords: 8,
+		})
+	} else {
+		m.l1i.Reset()
+	}
+	if fresh || prev.N != cfg.N {
+		m.tracker = path.NewTracker(cfg.N)
+	} else {
+		m.tracker.Reset()
+	}
+	if fresh || prev.PathCache != cfg.PathCache {
+		m.pathCache = pathcache.New(cfg.PathCache)
+	} else {
+		m.pathCache.Reset()
+	}
+	if fresh || prev.PRBEntries != cfg.PRBEntries {
+		m.prb = uthread.NewPRB(cfg.PRBEntries)
+	} else {
+		m.prb.Reset()
+	}
+	if fresh {
+		m.builder = uthread.NewBuilder(buildConfigOf(cfg))
+	} else {
+		m.builder.Reset(buildConfigOf(cfg))
+	}
+	if fresh || prev.MicroRAMEntries != cfg.MicroRAMEntries {
+		m.uram = uthread.NewMicroRAM(cfg.MicroRAMEntries)
+	} else {
+		m.uram.Reset()
+	}
+	if fresh || prev.PCacheEntries != cfg.PCacheEntries {
+		m.predCache = pcache.New(cfg.PCacheEntries)
+	} else {
+		m.predCache.Reset()
+	}
+
+	if m.routineReady == nil {
+		m.routineReady = make(map[path.ID]uint64)
+	} else {
+		clear(m.routineReady)
+	}
+	if m.promoted == nil {
+		m.promoted = make(map[path.ID]bool)
+	} else {
+		clear(m.promoted)
+	}
+	m.builderFreeAt = 0
+	m.prePromoted = nil
 	if len(cfg.PrePromoted) > 0 {
 		m.prePromoted = make(map[path.ID]bool, len(cfg.PrePromoted))
 		for _, id := range cfg.PrePromoted {
@@ -109,8 +179,72 @@ func Run(prog *program.Program, cfg Config) *Result {
 		}
 	}
 
+	m.throttled = false
+	m.windowBranches = 0
+	m.windowFixes = 0
+	m.windowSpawns = 0
+
+	if len(m.ctxs) != cfg.Microcontexts {
+		m.ctxs = make([]mctx, cfg.Microcontexts)
+	} else {
+		for i := range m.ctxs {
+			m.ctxs[i] = mctx{issues: m.ctxs[i].issues[:0]}
+		}
+	}
+
+	if fresh || prev.FUs != cfg.FUs {
+		m.fus = newCalendar(cfg.FUs)
+	} else {
+		m.fus.reset()
+	}
+	if fresh || prev.L1Ports != cfg.L1Ports {
+		m.ports = newCalendar(cfg.L1Ports)
+	} else {
+		m.ports.reset()
+	}
+	m.regReady = [isa.NumRegs]uint64{}
+	if len(m.retRing) != cfg.WindowSize {
+		m.retRing = make([]uint64, cfg.WindowSize)
+	} else {
+		for i := range m.retRing {
+			m.retRing[i] = 0
+		}
+	}
+	m.lastRet = 0
+	m.retCount = 0
+
+	m.fc = 0
+	m.instsThis = 0
+	m.branchesThis = 0
+	m.linesThis = m.linesThis[:0]
+	m.redirectAt = 0
+	m.lastLine = 0
+	m.haveLine = false
+	m.takenRing = [takenRingSize]isa.Addr{}
+	m.takenCnt = 0
+
+	m.res = Result{Benchmark: prog.Name, Mode: cfg.Mode, Pruning: cfg.Pruning}
+}
+
+// ctxCheckInterval is how many retired instructions pass between context
+// polls: frequent enough that cancellation lands within microseconds,
+// cheap enough to vanish in the run's cost.
+const ctxCheckInterval = 4096
+
+// RunContext resets the machine for (prog, cfg) and executes until the
+// instruction budget, program halt, or context cancellation. The returned
+// Result is a copy owned by the caller — the machine may be Reset and
+// reused immediately. On cancellation or deadline the partial statistics
+// accumulated so far are returned alongside the context's error.
+func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Config) (*Result, error) {
+	m.Reset(prog, cfg)
+	cfg = m.cfg // defaults applied
+
 	var rec emu.Record
 	for m.res.Insts < cfg.MaxInsts && !m.em.Halted() {
+		if m.res.Insts%ctxCheckInterval == 0 && ctx.Err() != nil {
+			break
+		}
 		pc := m.em.PC()
 		in := prog.At(pc)
 		seq := m.em.Seq()
@@ -137,7 +271,8 @@ func Run(prog *program.Program, cfg Config) *Result {
 	m.res.AvgDepChain = m.builder.Stats.AvgChain()
 	m.res.L1MissRate = m.msys.L1.MissRate()
 	m.res.L2MissRate = m.msys.L2.MissRate()
-	return &m.res
+	out := m.res
+	return &out, ctx.Err()
 }
 
 func buildConfigOf(cfg Config) uthread.BuildConfig {
@@ -146,13 +281,13 @@ func buildConfigOf(cfg Config) uthread.BuildConfig {
 	return bc
 }
 
-func (m *machine) resetFetch() {
+func (m *Machine) resetFetch() {
 	m.instsThis = 0
 	m.branchesThis = 0
 	m.linesThis = m.linesThis[:0]
 }
 
-func (m *machine) advanceCycle() {
+func (m *Machine) advanceCycle() {
 	m.fc++
 	m.resetFetch()
 }
@@ -161,7 +296,7 @@ func (m *machine) advanceCycle() {
 // dynamic index i, advancing the front-end state: redirect gaps, window
 // occupancy gating, fetch width, branch-prediction bandwidth, and I-cache
 // line bandwidth and misses.
-func (m *machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
+func (m *Machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
 	if m.redirectAt > m.fc {
 		m.fc = m.redirectAt
 		m.resetFetch()
@@ -227,7 +362,7 @@ func containsLine(lines []uint64, l uint64) bool {
 
 // retire assigns the in-order retirement cycle for an instruction
 // completing at complete, honouring retirement bandwidth.
-func (m *machine) retire(complete uint64) uint64 {
+func (m *Machine) retire(complete uint64) uint64 {
 	rc := complete
 	if rc < m.lastRet {
 		rc = m.lastRet
@@ -247,7 +382,7 @@ func (m *machine) retire(complete uint64) uint64 {
 
 // redirect schedules a fetch redirect: the next instruction cannot fetch
 // before cycle at + RedirectPenalty.
-func (m *machine) redirect(at uint64) {
+func (m *Machine) redirect(at uint64) {
 	t := at + uint64(m.cfg.RedirectPenalty)
 	if t > m.redirectAt {
 		m.redirectAt = t
@@ -258,7 +393,7 @@ func (m *machine) redirect(at uint64) {
 // branch prediction and redirects, microthread monitoring, and the
 // retirement-side structures (predictor training, PRB, Path Cache,
 // builder).
-func (m *machine) execute(rec *emu.Record, fc uint64) {
+func (m *Machine) execute(rec *emu.Record, fc uint64) {
 	cfg := &m.cfg
 	in := rec.Inst
 
@@ -322,7 +457,7 @@ func (m *machine) execute(rec *emu.Record, fc uint64) {
 // handleBranch performs fetch-time prediction (hardware, oracle, or
 // microthread), resolves it against the actual outcome, and schedules any
 // redirect. It returns whether the hardware predictor mispredicted.
-func (m *machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.ID) bool {
+func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.ID) bool {
 	cfg := &m.cfg
 	in := rec.Inst
 	pr := m.pred.Predict(rec.PC, in)
@@ -443,7 +578,7 @@ func (m *machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 // retireSide models the back-end structures fed by the retirement stream:
 // value/address predictor training, the PRB, the Path Cache with its
 // promotion/demotion logic, and the Microthread Builder.
-func (m *machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termScope int, hwMiss bool) {
+func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termScope int, hwMiss bool) {
 	cfg := &m.cfg
 	in := rec.Inst
 
@@ -512,7 +647,7 @@ func (m *machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termS
 // spawning is suspended for the next window when the yield — fixed
 // mispredictions per spawn — fell below the configured floor, and resumed
 // (to re-probe) after each suspended window.
-func (m *machine) updateThrottle() {
+func (m *Machine) updateThrottle() {
 	if !m.cfg.Throttle {
 		return
 	}
@@ -538,7 +673,7 @@ func (m *machine) updateThrottle() {
 // retired its terminating branch. The builder constructs one routine at a
 // time with a fixed latency; if it is busy the promotion request is
 // declined and will fire again on the path's next occurrence.
-func (m *machine) buildRoutine(rec *emu.Record, retC uint64, id path.ID, scope int, rebuild bool) {
+func (m *Machine) buildRoutine(rec *emu.Record, retC uint64, id path.ID, scope int, rebuild bool) {
 	if m.builderFreeAt > retC {
 		if !rebuild {
 			m.pathCache.SetPromoted(id, false)

@@ -35,7 +35,7 @@ type mctx struct {
 // instruction about to be fetched at pc (sequence number seq, fetch cycle
 // fc). Spawns that cannot get a microcontext are dropped — the paper's
 // "aborted before allocating a microcontext" bucket.
-func (m *machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
+func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 	cands := m.uram.SpawnCandidates(pc)
 	if len(cands) == 0 {
 		return
@@ -68,7 +68,7 @@ func (m *machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 
 // prefixMatches reports whether the front end's recent taken-branch
 // history ends with the given prefix.
-func (m *machine) prefixMatches(prefix []isa.Addr) bool {
+func (m *Machine) prefixMatches(prefix []isa.Addr) bool {
 	n := uint64(len(prefix))
 	if n == 0 {
 		return true
@@ -84,7 +84,7 @@ func (m *machine) prefixMatches(prefix []isa.Addr) bool {
 	return true
 }
 
-func (m *machine) freeContext() *mctx {
+func (m *Machine) freeContext() *mctx {
 	for i := range m.ctxs {
 		if !m.ctxs[i].active {
 			return &m.ctxs[i]
@@ -96,7 +96,7 @@ func (m *machine) freeContext() *mctx {
 // spawn allocates a microcontext, functionally executes the routine
 // against the primary thread's architectural state at the spawn point, and
 // schedules its instructions through the shared execution resources.
-func (m *machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
+func (m *Machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
 	m.res.Micro.Spawned++
 	m.windowSpawns++
 
@@ -207,7 +207,7 @@ func (m *machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
 // renamer's reassignment after recovery; the resulting contexts are
 // monitored against the correct-path stream and abort on its first
 // deviation from their expected path.
-func (m *machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
+func (m *Machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 	limit := m.cfg.RedirectPenalty * m.cfg.FetchWidth / 2
 	if limit > 64 {
 		limit = 64
@@ -236,7 +236,7 @@ func (m *machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 // monitorContexts advances every active microcontext past the fetched
 // instruction rec: memory-dependence violation detection, completion at
 // the target branch, and the Path_History abort check on taken branches.
-func (m *machine) monitorContexts(rec *emu.Record, fc uint64) {
+func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 	for i := range m.ctxs {
 		ctx := &m.ctxs[i]
 		if !ctx.active || rec.Seq <= ctx.spawnSeq {
@@ -272,7 +272,7 @@ func (m *machine) monitorContexts(rec *emu.Record, fc uint64) {
 // predicted path: unexecuted instructions are refunded from the resource
 // calendars (instructions already in the window cannot be aborted, per
 // Section 4.3.2), and an undelivered prediction is cancelled.
-func (m *machine) abortContext(ctx *mctx, fc uint64) {
+func (m *Machine) abortContext(ctx *mctx, fc uint64) {
 	m.res.Micro.AbortedActive++
 	for _, ir := range ctx.issues {
 		if ir.cycle > fc {

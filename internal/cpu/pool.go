@@ -1,0 +1,39 @@
+package cpu
+
+import "sync"
+
+// Pool is a bounded free list of reusable Machines. Unlike sync.Pool it
+// never drops instances under GC pressure and hands them out under a
+// plain mutex, so allocation counts in benchmarks are deterministic and
+// a sweep of R runs over W workers constructs exactly min(R, W) machines.
+//
+// The zero value is ready to use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Machine
+}
+
+// Get returns a pooled machine, or a new empty one if none is free. The
+// caller must Reset it (RunContext does) before relying on its state.
+func (p *Pool) Get() *Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return NewMachine()
+}
+
+// Put returns a machine to the pool for reuse. The machine must not be
+// used by the caller afterwards; Results previously returned by it remain
+// valid (RunContext copies them out).
+func (p *Pool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, m)
+}

@@ -220,3 +220,20 @@ func (m *Machine) Run(maxInsts uint64, visit func(*Record) bool) uint64 {
 	}
 	return n
 }
+
+// Reset rewinds the machine to the initial state for program p — data
+// image installed, registers zeroed, PC at the entry point — reusing the
+// memory pages already allocated by a previous run.
+func (m *Machine) Reset(p *program.Program) {
+	m.Prog = p
+	m.Regs = [isa.NumRegs]isa.Word{}
+	for _, pg := range m.Mem.pages {
+		*pg = [1 << pageBits]isa.Word{}
+	}
+	for i, w := range p.Data {
+		m.Mem.Store(p.DataBase+isa.Addr(i), w)
+	}
+	m.pc = p.Entry
+	m.seq = 0
+	m.halted = false
+}

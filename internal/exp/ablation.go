@@ -1,26 +1,12 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
-	"text/tabwriter"
+	"context"
 
 	"dpbp/internal/cpu"
 	"dpbp/internal/program"
+	"dpbp/internal/results"
 )
-
-// AblationResult quantifies the design choices DESIGN.md calls out, each
-// as a geomean speed-up over the shared baseline across the selected
-// benchmarks.
-type AblationResult struct {
-	Rows []AblationRow
-}
-
-// AblationRow is one configuration's outcome.
-type AblationRow struct {
-	Name    string
-	Speedup float64 // geomean over baseline
-}
 
 // ablationConfigs enumerates the studied variants. The first entry is the
 // paper's default mechanism.
@@ -50,44 +36,63 @@ func ablationConfigs() []struct {
 	}
 }
 
-// Ablations runs every variant across the selected benchmarks.
-func Ablations(o Options) (*AblationResult, error) {
+// Ablations runs every variant across the selected benchmarks,
+// quantifying the design choices DESIGN.md calls out as geomean speed-ups
+// over the shared baseline. A failed run drops only its benchmark from
+// its variant's geomean; failures are named "config/bench" ("baseline"
+// for the shared baseline runs) in the result's Errors.
+func Ablations(ctx context.Context, o Options) (*results.AblationResult, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
 	cfgs := ablationConfigs()
+	res := &results.AblationResult{Rows: make([]results.AblationRow, len(cfgs))}
 
-	// Per-benchmark baselines, then each variant.
+	// Per-benchmark baselines, then each variant. A benchmark whose
+	// baseline failed has no denominator and is skipped by every variant.
 	bases := make([]*cpu.Result, len(progs))
-	forEach(o, progs, func(i int, prog *program.Program) {
-		bases[i] = cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false))
+	baseErrs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		b, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		if err != nil {
+			return err
+		}
+		bases[i] = b
+		return nil
 	})
+	for i, err := range baseErrs {
+		if err != nil {
+			res.Errors = append(res.Errors,
+				results.RunError{Bench: "baseline/" + progs[i].Name, Err: err.Error()})
+		}
+	}
 
-	res := &AblationResult{Rows: make([]AblationRow, len(cfgs))}
 	for ci, c := range cfgs {
 		speeds := make([]float64, len(progs))
-		ci, c := ci, c
-		forEach(o, progs, func(i int, prog *program.Program) {
+		errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+			if bases[i] == nil {
+				return nil // baseline already reported; nothing to compare against
+			}
 			cfg := timingConfig(o, cpu.ModeMicrothread, true, true)
 			c.mut(&cfg)
-			r := cpu.Run(prog, cfg)
+			r, err := timedRun(ctx, prog, cfg)
+			if err != nil {
+				return err
+			}
 			speeds[i] = r.Speedup(bases[i])
+			return nil
 		})
-		res.Rows[ci] = AblationRow{Name: c.name, Speedup: geomean(speeds)}
+		var xs []float64
+		for i := range progs {
+			if errs[i] == nil && bases[i] != nil {
+				xs = append(xs, speeds[i])
+			} else if errs[i] != nil {
+				res.Errors = append(res.Errors,
+					results.RunError{Bench: c.name + "/" + progs[i].Name, Err: errs[i].Error()})
+			}
+		}
+		res.Rows[ci] = results.AblationRow{Name: c.name, Speedup: results.Geomean(xs)}
 	}
 	return res, nil
-}
-
-// String renders the ablation table.
-func (a *AblationResult) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Ablations: geomean speed-up over baseline (full mechanism variants)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	for _, r := range a.Rows {
-		fmt.Fprintf(w, "%s\t%s\n", r.Name, pct(r.Speedup))
-	}
-	flushTable(w)
-	return b.String()
 }

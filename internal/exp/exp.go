@@ -1,19 +1,25 @@
 // Package exp is the experiment harness: one entry point per table and
-// figure in the paper's evaluation (Tables 1-2, Figures 6-9, and the
-// Section 1 perfect-prediction bound), each returning a result that
-// renders as an aligned text table shaped like the paper's.
+// figure in the paper's evaluation (Tables 1-2, Figures 6-9, the
+// Section 1 perfect-prediction bound, and the extension studies), each
+// returning a typed result from internal/results.
+//
+// The package is the computation layer of the runner architecture:
+// internal/sched fans the selected benchmarks out with bounded
+// parallelism, cancellation, and panic isolation; this package fills the
+// results model; internal/report renders it. A benchmark that fails —
+// panic, cancellation, per-run timeout — costs only its own row: the
+// sweep completes, and the failure is recorded in the result's Errors.
 package exp
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"sync"
-	"text/tabwriter"
+	"context"
+	"time"
 
 	"dpbp/internal/cpu"
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
+	"dpbp/internal/results"
+	"dpbp/internal/sched"
 	"dpbp/internal/synth"
 )
 
@@ -27,6 +33,10 @@ type Options struct {
 	ProfileInsts uint64
 	// Parallelism bounds concurrent benchmark runs (default NumCPU).
 	Parallelism int
+	// RunTimeout bounds each individual benchmark run; zero means no
+	// limit. A run that exceeds it is dropped from the result's rows and
+	// recorded in its Errors.
+	RunTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -34,13 +44,13 @@ func (o Options) withDefaults() Options {
 		o.Benchmarks = synth.Names()
 	}
 	if o.TimingInsts == 0 {
-		o.TimingInsts = 400_000
+		o.TimingInsts = defaultTimingInsts
 	}
 	if o.ProfileInsts == 0 {
-		o.ProfileInsts = 1_000_000
+		o.ProfileInsts = defaultProfileInsts
 	}
 	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.NumCPU()
+		o.Parallelism = defaultParallelism()
 	}
 	return o
 }
@@ -58,36 +68,64 @@ func (o Options) programs() ([]*program.Program, error) {
 	return progs, nil
 }
 
-// forEach runs fn for every selected benchmark, bounded-parallel, keeping
-// result order.
-func forEach(o Options, progs []*program.Program, fn func(i int, prog *program.Program)) {
-	sem := make(chan struct{}, o.Parallelism)
-	var wg sync.WaitGroup
-	for i := range progs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn(i, progs[i])
-		}(i)
-	}
-	wg.Wait()
+func (o Options) schedOptions() sched.Options {
+	return sched.Options{Parallelism: o.Parallelism, RunTimeout: o.RunTimeout}
 }
 
-// geomean returns the geometric mean of xs (1.0 for empty input).
-func geomean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 1
+// testHookBeforeRun, when non-nil, runs at the top of every per-benchmark
+// sweep body. Tests use it to seed a panic in one benchmark and assert
+// the rest of the sweep survives.
+var testHookBeforeRun func(bench string)
+
+// machines recycles timing machines across runs and experiments; see
+// cpu.Pool. BenchmarkAblationSweepAllocs measures what this saves.
+var machines cpu.Pool
+
+// timedRun executes one cancellable timing run on a pooled machine.
+func timedRun(ctx context.Context, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {
+	m := machines.Get()
+	r, err := m.RunContext(ctx, prog, cfg)
+	machines.Put(m)
+	if err != nil {
+		return nil, err
 	}
-	p := 1.0
-	for _, x := range xs {
-		if x <= 0 {
-			return 0
+	return r, nil
+}
+
+// sweep runs body for every program via the scheduler and returns one
+// error per program (nil on success), in program order.
+func sweep(ctx context.Context, o Options, progs []*program.Program,
+	body func(ctx context.Context, i int, prog *program.Program) error) []error {
+	return sched.Run(ctx, len(progs), o.schedOptions(), func(ctx context.Context, i int) error {
+		if h := testHookBeforeRun; h != nil {
+			h(progs[i].Name)
 		}
-		p *= x
+		return body(ctx, i, progs[i])
+	})
+}
+
+// runErrors converts a sweep's per-index failures into RunErrors named by
+// benchmark.
+func runErrors(progs []*program.Program, errs []error) []results.RunError {
+	var out []results.RunError
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, results.RunError{Bench: progs[i].Name, Err: err.Error()})
+		}
 	}
-	return math.Pow(p, 1/float64(len(xs)))
+	return out
+}
+
+// keepOK compacts rows, dropping every slot whose sweep entry failed, so
+// partial results carry only completed rows.
+func keepOK[T any](rows []T, errs []error) []T {
+	out := make([]T, 0, len(rows))
+	for i, r := range rows {
+		if errs[i] == nil {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // timingConfig builds the common Figure 6/7 machine configuration.
@@ -98,20 +136,6 @@ func timingConfig(o Options, mode cpu.Mode, pruning, usePreds bool) cpu.Config {
 	cfg.UsePredictions = usePreds
 	cfg.MaxInsts = o.TimingInsts
 	return cfg
-}
-
-// flushTable flushes a tabwriter layered over an in-memory builder,
-// where the only possible write failure is a bug in the layout code
-// itself — so it is escalated rather than discarded.
-func flushTable(w *tabwriter.Writer) {
-	if err := w.Flush(); err != nil {
-		panic(fmt.Sprintf("exp: flushing in-memory table: %v", err))
-	}
-}
-
-// pct formats a speedup as a signed percentage.
-func pct(speedup float64) string {
-	return fmt.Sprintf("%+.1f%%", 100*(speedup-1))
 }
 
 var profileConfig = func(o Options) pathprof.Config {

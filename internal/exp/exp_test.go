@@ -1,14 +1,20 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
+
+	"dpbp/internal/synth"
 )
 
 // quick returns small options for test speed.
 func quick(benches ...string) Options {
 	return Options{Benchmarks: benches, TimingInsts: 120_000, ProfileInsts: 150_000}
 }
+
+func ctx() context.Context { return context.Background() }
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
@@ -21,51 +27,74 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestBadBenchmarkName(t *testing.T) {
-	if _, err := Table1(quick("nope")); err == nil {
+	if _, err := Table1(ctx(), quick("nope")); err == nil {
 		t.Error("Table1 accepted unknown benchmark")
 	}
-	if _, err := Figure6(quick("nope")); err == nil {
+	if _, err := Figure6(ctx(), quick("nope")); err == nil {
 		t.Error("Figure6 accepted unknown benchmark")
 	}
-	if _, err := RunFigure7Set(quick("nope")); err == nil {
+	if _, _, err := RunFigure7Set(ctx(), quick("nope")); err == nil {
 		t.Error("RunFigure7Set accepted unknown benchmark")
 	}
-	if _, err := Perfect(quick("nope")); err == nil {
+	if _, err := Perfect(ctx(), quick("nope")); err == nil {
 		t.Error("Perfect accepted unknown benchmark")
 	}
 }
 
-func TestTable1Render(t *testing.T) {
-	r, err := Table1(quick("comp", "li"))
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(ctx(), quick("comp", "li"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Rows) != 2 || r.Rows[0].Bench != "comp" {
 		t.Fatalf("rows wrong: %+v", r.Rows)
 	}
-	s := r.String()
-	for _, want := range []string{"Table 1", "comp", "li", "n=4", "n=16", "Average"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("render missing %q:\n%s", want, s)
+	if len(r.Errors) != 0 {
+		t.Fatalf("unexpected errors: %+v", r.Errors)
+	}
+	for _, row := range r.Rows {
+		if len(row.ByN) != len(r.PathLengths) {
+			t.Fatalf("%s: %d cells for %d path lengths", row.Bench, len(row.ByN), len(r.PathLengths))
+		}
+		for i, cell := range row.ByN {
+			if cell.N != r.PathLengths[i] {
+				t.Errorf("%s cell %d: N=%d, want %d", row.Bench, i, cell.N, r.PathLengths[i])
+			}
+			if len(cell.Difficult) != len(r.Thresholds) {
+				t.Errorf("%s n=%d: %d difficult counts for %d thresholds",
+					row.Bench, cell.N, len(cell.Difficult), len(r.Thresholds))
+			}
+			if cell.UniquePaths == 0 {
+				t.Errorf("%s n=%d: no unique paths", row.Bench, cell.N)
+			}
 		}
 	}
 }
 
-func TestTable2Render(t *testing.T) {
-	r, err := Table2(quick("go"))
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(ctx(), quick("go"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := r.String()
-	for _, want := range []string{"Table 2", "T = 0.05", "T = 0.15", "go", "Average"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("render missing %q:\n%s", want, s)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if len(row.ByT) != len(r.Thresholds) {
+		t.Fatalf("%d blocks for %d thresholds", len(row.ByT), len(r.Thresholds))
+	}
+	for i, blk := range row.ByT {
+		if blk.T != r.Thresholds[i] {
+			t.Errorf("block %d: T=%v, want %v", i, blk.T, r.Thresholds[i])
+		}
+		if len(blk.ByN) != len(r.PathLengths) {
+			t.Errorf("block %d: %d coverages for %d path lengths", i, len(blk.ByN), len(r.PathLengths))
 		}
 	}
 }
 
-func TestFigure6Render(t *testing.T) {
-	r, err := Figure6(quick("comp"))
+func TestFigure6Shape(t *testing.T) {
+	r, err := Figure6(ctx(), quick("comp"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,16 +109,19 @@ func TestFigure6Render(t *testing.T) {
 		if row.SpeedupByN[n] <= 0 {
 			t.Errorf("n=%d speedup missing", n)
 		}
-	}
-	if !strings.Contains(r.String(), "Figure 6") || !strings.Contains(r.String(), "Geomean") {
-		t.Error("render malformed")
+		if r.Geomean[n] <= 0 {
+			t.Errorf("n=%d geomean missing", n)
+		}
 	}
 }
 
 func TestFigure789SharedRuns(t *testing.T) {
-	runs, err := RunFigure7Set(quick("comp"))
+	runs, runErrs, err := RunFigure7Set(ctx(), quick("comp"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(runErrs) != 0 {
+		t.Fatalf("unexpected run errors: %+v", runErrs)
 	}
 	if len(runs) != 1 {
 		t.Fatalf("runs = %d", len(runs))
@@ -98,25 +130,16 @@ func TestFigure789SharedRuns(t *testing.T) {
 	if r.Base == nil || r.NoPrune == nil || r.Prune == nil || r.Overhead == nil {
 		t.Fatal("missing runs")
 	}
-	f7 := &Figure7Result{Runs: runs}
-	s := f7.String()
-	for _, want := range []string{"Figure 7", "no-pruning", "overhead-only", "Geomean", "microcontext"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("fig7 render missing %q:\n%s", want, s)
-		}
+	if f8 := Figure8FromRuns(runs); len(f8.Runs) != 1 {
+		t.Error("fig8 from runs malformed")
 	}
-	f8 := Figure8FromRuns(runs)
-	if !strings.Contains(f8.String(), "Figure 8") {
-		t.Error("fig8 render malformed")
-	}
-	f9 := Figure9FromRuns(runs)
-	if !strings.Contains(f9.String(), "Figure 9") {
-		t.Error("fig9 render malformed")
+	if f9 := Figure9FromRuns(runs); len(f9.Runs) != 1 {
+		t.Error("fig9 from runs malformed")
 	}
 }
 
 func TestPerfect(t *testing.T) {
-	r, err := Perfect(quick("comp"))
+	r, err := Perfect(ctx(), quick("comp"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,21 +149,6 @@ func TestPerfect(t *testing.T) {
 	if r.GeomeanSpeedup <= 1 {
 		t.Errorf("geomean %.2f <= 1", r.GeomeanSpeedup)
 	}
-	if !strings.Contains(r.String(), "perfect IPC") {
-		t.Error("render malformed")
-	}
-}
-
-func TestGeomean(t *testing.T) {
-	if g := geomean(nil); g != 1 {
-		t.Errorf("geomean(nil) = %f", g)
-	}
-	if g := geomean([]float64{2, 8}); g != 4 {
-		t.Errorf("geomean(2,8) = %f, want 4", g)
-	}
-	if g := geomean([]float64{1, -1}); g != 0 {
-		t.Errorf("geomean with nonpositive = %f, want 0", g)
-	}
 }
 
 func TestParallelismDeterminism(t *testing.T) {
@@ -148,11 +156,11 @@ func TestParallelismDeterminism(t *testing.T) {
 	o1.Parallelism = 1
 	o3 := quick("comp", "li", "perl")
 	o3.Parallelism = 3
-	a, err := Figure6(o1)
+	a, err := Figure6(ctx(), o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Figure6(o3)
+	b, err := Figure6(ctx(), o3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +172,7 @@ func TestParallelismDeterminism(t *testing.T) {
 }
 
 func TestProfileGuidedExperiment(t *testing.T) {
-	r, err := ProfileGuided(quick("vortex"))
+	r, err := ProfileGuided(ctx(), quick("vortex"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,16 +186,12 @@ func TestProfileGuidedExperiment(t *testing.T) {
 	if row.DynamicSpeedup <= 0 || row.GuidedSpeedup <= 0 {
 		t.Errorf("speedups missing: %+v", row)
 	}
-	s := r.String()
-	if !strings.Contains(s, "profile-guided") || !strings.Contains(s, "Geomean") {
-		t.Errorf("render malformed:\n%s", s)
-	}
 }
 
 func TestAblationsExperiment(t *testing.T) {
 	o := quick("comp")
 	o.TimingInsts = 60_000
-	r, err := Ablations(o)
+	r, err := Ablations(ctx(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,33 +203,82 @@ func TestAblationsExperiment(t *testing.T) {
 			t.Errorf("%s: speedup %f", row.Name, row.Speedup)
 		}
 	}
-	if !strings.Contains(r.String(), "Ablations") {
-		t.Error("render malformed")
-	}
 	if r.Rows[0].Name != "default (paper)" {
 		t.Error("first row should be the paper default")
 	}
+	if len(r.Errors) != 0 {
+		t.Errorf("unexpected errors: %+v", r.Errors)
+	}
 }
 
-func TestBarChart(t *testing.T) {
-	s := barChart("title", []string{"a", "bb"}, []float64{10, -5}, "%+.1f", 20)
-	if !strings.Contains(s, "title") {
-		t.Error("missing title")
+// TestSeededPanicIsolated is the failure-isolation contract: a panic in
+// one benchmark's run surfaces as that benchmark's error while every
+// other benchmark completes its row.
+func TestSeededPanicIsolated(t *testing.T) {
+	testHookBeforeRun = func(bench string) {
+		if bench == "gcc" {
+			panic("seeded test panic")
+		}
 	}
-	if !strings.Contains(s, strings.Repeat("#", 20)) {
-		t.Error("max bar not full width")
+	defer func() { testHookBeforeRun = nil }()
+
+	o := Options{ProfileInsts: 30_000}
+	r, err := Table1(ctx(), o)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(s, "----------") {
-		t.Error("negative bar missing")
+	all := synth.Names()
+	if len(r.Rows) != len(all)-1 {
+		t.Errorf("rows = %d, want %d (all but gcc)", len(r.Rows), len(all)-1)
 	}
-	if !strings.Contains(s, "+10.0") || !strings.Contains(s, "-5.0") {
-		t.Error("values missing")
+	for _, row := range r.Rows {
+		if row.Bench == "gcc" {
+			t.Error("panicked benchmark still produced a row")
+		}
 	}
-	if barChart("t", []string{"a"}, nil, "%f", 10) != "" {
-		t.Error("mismatched input should render empty")
+	if len(r.Errors) != 1 {
+		t.Fatalf("errors = %+v, want exactly one", r.Errors)
 	}
-	// All-zero values must not divide by zero.
-	if s := barChart("t", []string{"a"}, []float64{0}, "%.0f", 10); !strings.Contains(s, "a") {
-		t.Error("zero-value chart broken")
+	if e := r.Errors[0]; e.Bench != "gcc" || !strings.Contains(e.Err, "seeded test panic") {
+		t.Errorf("error misattributed: %+v", e)
+	}
+}
+
+// TestRunTimeoutPartial verifies the per-run timeout turns slow runs into
+// per-benchmark errors rather than hanging or failing the sweep.
+func TestRunTimeoutPartial(t *testing.T) {
+	o := quick("comp", "li")
+	o.RunTimeout = time.Nanosecond
+	r, err := Perfect(ctx(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 0 {
+		t.Errorf("rows survived a 1ns budget: %+v", r.Rows)
+	}
+	if len(r.Errors) != 2 {
+		t.Fatalf("errors = %+v, want one per benchmark", r.Errors)
+	}
+	for _, e := range r.Errors {
+		if !strings.Contains(e.Err, "deadline") {
+			t.Errorf("error should mention the deadline: %+v", e)
+		}
+	}
+}
+
+// TestCancelledContextPartial verifies a cancelled sweep returns a
+// partial (here: empty) result accounting for every benchmark.
+func TestCancelledContextPartial(t *testing.T) {
+	c, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := Figure6(c, quick("comp", "li"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 0 {
+		t.Errorf("cancelled sweep produced rows: %+v", r.Rows)
+	}
+	if len(r.Errors) != 2 {
+		t.Errorf("errors = %+v, want one per benchmark", r.Errors)
 	}
 }

@@ -1,345 +1,176 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
-	"text/tabwriter"
+	"context"
 
 	"dpbp/internal/cpu"
 	"dpbp/internal/program"
+	"dpbp/internal/results"
 )
 
-// Figure6Result reproduces Figure 6: potential IPC speed-up from perfectly
-// predicting the terminating branches of promoted difficult paths, with a
-// realistic 8K Path Cache (T=.10, training interval 32, 8K MicroRAM), for
-// n in {4, 10, 16}.
-type Figure6Result struct {
-	Rows []Figure6Row
-	// Geomean holds the geometric-mean speedup per path length.
-	Geomean map[int]float64
-}
-
-// Figure6Row is one benchmark's bars.
-type Figure6Row struct {
-	Bench       string
-	BaselineIPC float64
-	// SpeedupByN maps path length to potential speedup (IPC ratio).
-	SpeedupByN map[int]float64
-}
-
-// Figure6 runs baseline plus one potential run per path length.
-func Figure6(o Options) (*Figure6Result, error) {
+// Figure6 runs baseline plus one potential run per path length: the
+// potential IPC speed-up from perfectly predicting the terminating
+// branches of promoted difficult paths, with a realistic 8K Path Cache
+// (T=.10, training interval 32, 8K MicroRAM), for n in {4, 10, 16}.
+func Figure6(ctx context.Context, o Options) (*results.Figure6Result, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure6Result{Rows: make([]Figure6Row, len(progs)), Geomean: map[int]float64{}}
-	forEach(o, progs, func(i int, prog *program.Program) {
-		row := Figure6Row{Bench: prog.Name, SpeedupByN: map[int]float64{}}
-		base := cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false))
-		row.BaselineIPC = base.IPC()
+	rows := make([]results.Figure6Row, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		if err != nil {
+			return err
+		}
+		row := results.Figure6Row{
+			Bench:       prog.Name,
+			BaselineIPC: base.IPC(),
+			SpeedupByN:  map[int]float64{},
+		}
 		for _, n := range PathLengths {
 			cfg := timingConfig(o, cpu.ModePerfectPromoted, false, false)
 			cfg.N = n
-			pot := cpu.Run(prog, cfg)
+			pot, err := timedRun(ctx, prog, cfg)
+			if err != nil {
+				return err
+			}
 			row.SpeedupByN[n] = pot.Speedup(base)
 		}
-		res.Rows[i] = row
+		rows[i] = row
+		return nil
 	})
+	res := &results.Figure6Result{
+		PathLengths: PathLengths,
+		Rows:        keepOK(rows, errs),
+		Geomean:     map[int]float64{},
+		Errors:      runErrors(progs, errs),
+	}
 	for _, n := range PathLengths {
 		var xs []float64
 		for _, r := range res.Rows {
 			xs = append(xs, r.SpeedupByN[n])
 		}
-		res.Geomean[n] = geomean(xs)
+		res.Geomean[n] = results.Geomean(xs)
 	}
 	return res, nil
 }
 
-// String renders the figure as a table of speedups.
-func (f *Figure6Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Figure 6: potential speed-up from perfect difficult-path prediction")
-	fmt.Fprintln(&b, "(8K Path Cache, T=.10, training interval 32, 8K MicroRAM)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprint(w, "Bench\tbase IPC")
-	for _, n := range PathLengths {
-		fmt.Fprintf(w, "\tn=%d", n)
-	}
-	fmt.Fprintln(w)
-	for _, r := range f.Rows {
-		fmt.Fprintf(w, "%s\t%.3f", r.Bench, r.BaselineIPC)
-		for _, n := range PathLengths {
-			fmt.Fprintf(w, "\t%s", pct(r.SpeedupByN[n]))
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprint(w, "Geomean\t")
-	for _, n := range PathLengths {
-		fmt.Fprintf(w, "\t%s", pct(f.Geomean[n]))
-	}
-	fmt.Fprintln(w)
-	flushTable(w)
-
-	labels := make([]string, len(f.Rows))
-	vals := make([]float64, len(f.Rows))
-	for i, r := range f.Rows {
-		labels[i] = r.Bench
-		vals[i] = 100 * (r.SpeedupByN[10] - 1)
-	}
-	fmt.Fprint(&b, "\n", barChart("potential speed-up, n=10 (%)", labels, vals, "%+.1f", 40))
-	return b.String()
-}
-
-// Figure7Runs bundles the four timing runs behind Figures 7, 8, and 9 for
-// one benchmark: baseline, microthreads without pruning, with pruning, and
-// overhead-only (predictions dropped, pruning off).
-type Figure7Runs struct {
-	Bench    string
-	Base     *cpu.Result
-	NoPrune  *cpu.Result
-	Prune    *cpu.Result
-	Overhead *cpu.Result
-}
-
-// RunFigure7Set performs the shared runs (n=10, T=.10, build latency 100).
-func RunFigure7Set(o Options) ([]Figure7Runs, error) {
+// RunFigure7Set performs the four timing runs behind Figures 7, 8, and 9
+// (n=10, T=.10, build latency 100) for every selected benchmark:
+// baseline, microthreads without pruning, with pruning, and
+// overhead-only. Benchmarks that fail are dropped from the run set and
+// reported in the returned error list.
+func RunFigure7Set(ctx context.Context, o Options) ([]results.Figure7Runs, []results.RunError, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make([]Figure7Runs, len(progs))
-	forEach(o, progs, func(i int, prog *program.Program) {
-		out[i] = Figure7Runs{
-			Bench:    prog.Name,
-			Base:     cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false)),
-			NoPrune:  cpu.Run(prog, timingConfig(o, cpu.ModeMicrothread, false, true)),
-			Prune:    cpu.Run(prog, timingConfig(o, cpu.ModeMicrothread, true, true)),
-			Overhead: cpu.Run(prog, timingConfig(o, cpu.ModeMicrothread, false, false)),
+	runs := make([]results.Figure7Runs, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		r := results.Figure7Runs{Bench: prog.Name}
+		type slot struct {
+			dst     **cpu.Result
+			mode    cpu.Mode
+			pruning bool
+			preds   bool
 		}
+		for _, s := range []slot{
+			{&r.Base, cpu.ModeBaseline, false, false},
+			{&r.NoPrune, cpu.ModeMicrothread, false, true},
+			{&r.Prune, cpu.ModeMicrothread, true, true},
+			{&r.Overhead, cpu.ModeMicrothread, false, false},
+		} {
+			res, err := timedRun(ctx, prog, timingConfig(o, s.mode, s.pruning, s.preds))
+			if err != nil {
+				return err
+			}
+			*s.dst = res
+		}
+		runs[i] = r
+		return nil
 	})
-	return out, nil
+	return keepOK(runs, errs), runErrors(progs, errs), nil
 }
 
-// Figure7Result reproduces Figure 7: realistic speed-up with and without
-// pruning, and the overhead-only configuration.
-type Figure7Result struct {
-	Runs []Figure7Runs
-}
-
-// Figure7 performs the runs.
-func Figure7(o Options) (*Figure7Result, error) {
-	runs, err := RunFigure7Set(o)
+// Figure7 performs the runs for Figure 7: realistic speed-up with and
+// without pruning, and the overhead-only configuration.
+func Figure7(ctx context.Context, o Options) (*results.Figure7Result, error) {
+	runs, runErrs, err := RunFigure7Set(ctx, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Figure7Result{Runs: runs}, nil
+	return &results.Figure7Result{Runs: runs, Errors: runErrs}, nil
 }
 
-// String renders the figure as a table of speedups plus the Section 4
-// textual statistics (abort rates, Path Cache allocation avoidance).
-func (f *Figure7Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Figure 7: realistic speed-up (n=10, T=.10, build latency 100)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Bench\tbase IPC\tno-pruning\tpruning\toverhead-only")
-	var np, pr, ov []float64
-	for _, r := range f.Runs {
-		fmt.Fprintf(w, "%s\t%.3f\t%s\t%s\t%s\n", r.Bench, r.Base.IPC(),
-			pct(r.NoPrune.Speedup(r.Base)), pct(r.Prune.Speedup(r.Base)),
-			pct(r.Overhead.Speedup(r.Base)))
-		np = append(np, r.NoPrune.Speedup(r.Base))
-		pr = append(pr, r.Prune.Speedup(r.Base))
-		ov = append(ov, r.Overhead.Speedup(r.Base))
-	}
-	fmt.Fprintf(w, "Geomean\t\t%s\t%s\t%s\n", pct(geomean(np)), pct(geomean(pr)), pct(geomean(ov)))
-	flushTable(w)
-
-	labels := make([]string, len(f.Runs))
-	vals := make([]float64, len(f.Runs))
-	for i, r := range f.Runs {
-		labels[i] = r.Bench
-		vals[i] = 100 * (r.Prune.Speedup(r.Base) - 1)
-	}
-	fmt.Fprint(&b, "\n", barChart("realistic speed-up with pruning (%)", labels, vals, "%+.1f", 40))
-
-	// Section 4.3.2 / 4.1 companion statistics, from the pruning runs.
-	var att, drop, spawned, aborted uint64
-	var misses, avoided uint64
-	for _, r := range f.Runs {
-		att += r.Prune.Micro.AttemptedSpawns
-		drop += r.Prune.Micro.NoContextDrops
-		spawned += r.Prune.Micro.Spawned
-		aborted += r.Prune.Micro.AbortedActive
-		misses += r.Prune.PathCache.Misses
-		avoided += r.Prune.PathCache.AllocsAvoided
-	}
-	if att > 0 && spawned > 0 {
-		fmt.Fprintf(&b, "\nSpawns aborted before microcontext allocation: %.0f%% (paper: 67%%)\n",
-			100*float64(drop)/float64(att))
-		fmt.Fprintf(&b, "Successful spawns aborted before completion:   %.0f%% (paper: 66%%)\n",
-			100*float64(aborted)/float64(spawned))
-	}
-	if misses > 0 {
-		fmt.Fprintf(&b, "Path Cache allocations avoided:                %.0f%% (paper: ~45%%)\n",
-			100*float64(avoided)/float64(misses))
-	}
-	return b.String()
-}
-
-// Figure8Result reproduces Figure 8: average routine size and average
-// longest dependence chain, with and without pruning.
-type Figure8Result struct {
-	Runs []Figure7Runs
-}
-
-// Figure8 performs (or reuses) the Figure 7 runs.
-func Figure8(o Options) (*Figure8Result, error) {
-	runs, err := RunFigure7Set(o)
+// Figure8 performs the runs for Figure 8: average routine size and
+// average longest dependence chain, with and without pruning.
+func Figure8(ctx context.Context, o Options) (*results.Figure8Result, error) {
+	runs, runErrs, err := RunFigure7Set(ctx, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Figure8Result{Runs: runs}, nil
+	return &results.Figure8Result{Runs: runs, Errors: runErrs}, nil
 }
 
-// FromRuns builds Figure 8 from an existing Figure 7 run set.
-func Figure8FromRuns(runs []Figure7Runs) *Figure8Result {
-	return &Figure8Result{Runs: runs}
+// Figure8FromRuns builds Figure 8 from an existing Figure 7 run set.
+func Figure8FromRuns(runs []results.Figure7Runs) *results.Figure8Result {
+	return &results.Figure8Result{Runs: runs}
 }
 
-// String renders the figure.
-func (f *Figure8Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Figure 8: average routine size / longest dependence chain (insts)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Bench\tsize no-prune\tsize prune\tchain no-prune\tchain prune")
-	var s0, s1, c0, c1, n float64
-	for _, r := range f.Runs {
-		if r.NoPrune.Build.Builds == 0 || r.Prune.Build.Builds == 0 {
-			fmt.Fprintf(w, "%s\t-\t-\t-\t-\n", r.Bench)
-			continue
-		}
-		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n", r.Bench,
-			r.NoPrune.AvgRoutineSize, r.Prune.AvgRoutineSize,
-			r.NoPrune.AvgDepChain, r.Prune.AvgDepChain)
-		s0 += r.NoPrune.AvgRoutineSize
-		s1 += r.Prune.AvgRoutineSize
-		c0 += r.NoPrune.AvgDepChain
-		c1 += r.Prune.AvgDepChain
-		n++
-	}
-	if n > 0 {
-		fmt.Fprintf(w, "Average\t%.1f\t%.1f\t%.1f\t%.1f\n", s0/n, s1/n, c0/n, c1/n)
-	}
-	flushTable(w)
-	return b.String()
-}
-
-// Figure9Result reproduces Figure 9: prediction timeliness (early, late,
-// useless) without and with pruning. Predictions for branches never
-// reached are excluded, as in the paper.
-type Figure9Result struct {
-	Runs []Figure7Runs
-}
-
-// Figure9 performs (or reuses) the Figure 7 runs.
-func Figure9(o Options) (*Figure9Result, error) {
-	runs, err := RunFigure7Set(o)
+// Figure9 performs the runs for Figure 9: prediction timeliness (early,
+// late, useless) without and with pruning.
+func Figure9(ctx context.Context, o Options) (*results.Figure9Result, error) {
+	runs, runErrs, err := RunFigure7Set(ctx, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Figure9Result{Runs: runs}, nil
+	return &results.Figure9Result{Runs: runs, Errors: runErrs}, nil
 }
 
 // Figure9FromRuns builds Figure 9 from an existing Figure 7 run set.
-func Figure9FromRuns(runs []Figure7Runs) *Figure9Result {
-	return &Figure9Result{Runs: runs}
+func Figure9FromRuns(runs []results.Figure7Runs) *results.Figure9Result {
+	return &results.Figure9Result{Runs: runs}
 }
 
-func timeliness(r *cpu.Result) (early, late, useless float64, total uint64) {
-	total = r.Micro.Early + r.Micro.Late + r.Micro.Useless
-	if total == 0 {
-		return 0, 0, 0, 0
-	}
-	early = 100 * float64(r.Micro.Early) / float64(total)
-	late = 100 * float64(r.Micro.Late) / float64(total)
-	useless = 100 * float64(r.Micro.Useless) / float64(total)
-	return early, late, useless, total
-}
-
-// String renders the figure.
-func (f *Figure9Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Figure 9: prediction timeliness (% of delivered predictions)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Bench\tnoP early\tlate\tuseless\t(count)\tP early\tlate\tuseless\t(count)")
-	for _, r := range f.Runs {
-		e0, l0, u0, t0 := timeliness(r.NoPrune)
-		e1, l1, u1, t1 := timeliness(r.Prune)
-		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
-			r.Bench, e0, l0, u0, t0, e1, l1, u1, t1)
-	}
-	flushTable(w)
-	return b.String()
-}
-
-// PerfectResult reproduces the Section 1 claim: the IPC available from
-// perfect prediction of all branches over the aggressive baseline.
-type PerfectResult struct {
-	Rows []PerfectRow
-	// GeomeanSpeedup across benchmarks (the paper reports ~2x).
-	GeomeanSpeedup float64
-}
-
-// PerfectRow is one benchmark's bound.
-type PerfectRow struct {
-	Bench              string
-	BaselineIPC        float64
-	PerfectIPC         float64
-	Speedup            float64
-	BaselineMisprRatio float64
-}
-
-// Perfect runs baseline and perfect-prediction configurations.
-func Perfect(o Options) (*PerfectResult, error) {
+// Perfect runs baseline and perfect-prediction configurations for the
+// Section 1 claim: the IPC available from perfect prediction of all
+// branches over the aggressive baseline.
+func Perfect(ctx context.Context, o Options) (*results.PerfectResult, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
-	res := &PerfectResult{Rows: make([]PerfectRow, len(progs))}
-	forEach(o, progs, func(i int, prog *program.Program) {
-		base := cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false))
-		perf := cpu.Run(prog, timingConfig(o, cpu.ModePerfectAll, false, false))
-		res.Rows[i] = PerfectRow{
+	rows := make([]results.PerfectRow, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		if err != nil {
+			return err
+		}
+		perf, err := timedRun(ctx, prog, timingConfig(o, cpu.ModePerfectAll, false, false))
+		if err != nil {
+			return err
+		}
+		rows[i] = results.PerfectRow{
 			Bench:              prog.Name,
 			BaselineIPC:        base.IPC(),
 			PerfectIPC:         perf.IPC(),
 			Speedup:            perf.Speedup(base),
 			BaselineMisprRatio: base.MispredictRate(),
 		}
+		return nil
 	})
+	res := &results.PerfectResult{
+		Rows:   keepOK(rows, errs),
+		Errors: runErrors(progs, errs),
+	}
 	var xs []float64
 	for _, r := range res.Rows {
 		xs = append(xs, r.Speedup)
 	}
-	res.GeomeanSpeedup = geomean(xs)
+	res.GeomeanSpeedup = results.Geomean(xs)
 	return res, nil
-}
-
-// String renders the bound.
-func (p *PerfectResult) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Section 1: speed-up from perfect branch prediction")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Bench\tbase IPC\tperfect IPC\tspeedup\tbase mispredict %")
-	for _, r := range p.Rows {
-		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.2fx\t%.2f\n",
-			r.Bench, r.BaselineIPC, r.PerfectIPC, r.Speedup, 100*r.BaselineMisprRatio)
-	}
-	fmt.Fprintf(w, "Geomean\t\t\t%.2fx\t\n", p.GeomeanSpeedup)
-	flushTable(w)
-	return b.String()
 }

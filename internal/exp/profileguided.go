@@ -1,79 +1,62 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
-	"text/tabwriter"
+	"context"
 
 	"dpbp/internal/cpu"
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
+	"dpbp/internal/results"
 )
 
-// ProfileGuidedResult is an extension experiment beyond the paper's
-// figures: it quantifies the paper's future-work suggestion that better
+// ProfileGuided is an extension experiment beyond the paper's figures: it
+// quantifies the paper's future-work suggestion that better
 // difficult-path identification (here, an offline profiling pass feeding
 // unconditional promotions) recovers much of the potential the dynamic
-// 8K Path Cache leaves on the table.
-type ProfileGuidedResult struct {
-	Rows []ProfileGuidedRow
-}
-
-// ProfileGuidedRow is one benchmark's comparison.
-type ProfileGuidedRow struct {
-	Bench          string
-	BaselineIPC    float64
-	DynamicSpeedup float64 // paper's mechanism (Path Cache training)
-	GuidedSpeedup  float64 // profile-guided promotions
-	GuidedPaths    int     // promotions fed in
-}
-
-// ProfileGuided profiles each benchmark offline, pre-promotes its top
-// difficult paths (n=10, T=.10, up to the 8K MicroRAM capacity), and
-// compares the full mechanism under dynamic vs guided promotion.
-func ProfileGuided(o Options) (*ProfileGuidedResult, error) {
+// 8K Path Cache leaves on the table. Each benchmark is profiled offline,
+// its top difficult paths pre-promoted (n=10, T=.10, up to the 8K
+// MicroRAM capacity), and the full mechanism compared under dynamic vs
+// guided promotion.
+func ProfileGuided(ctx context.Context, o Options) (*results.ProfileGuidedResult, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
-	res := &ProfileGuidedResult{Rows: make([]ProfileGuidedRow, len(progs))}
-	forEach(o, progs, func(i int, prog *program.Program) {
+	rows := make([]results.ProfileGuidedRow, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		prof := pathprof.Run(prog, pathprof.Config{Ns: []int{10}, MaxInsts: o.ProfileInsts})
 		ids := prof.DifficultPathIDs(10, 0.10, 8<<10)
 
-		base := cpu.Run(prog, timingConfig(o, cpu.ModeBaseline, false, false))
-		dyn := cpu.Run(prog, timingConfig(o, cpu.ModeMicrothread, true, true))
+		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		if err != nil {
+			return err
+		}
+		dyn, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeMicrothread, true, true))
+		if err != nil {
+			return err
+		}
 		gcfg := timingConfig(o, cpu.ModeMicrothread, true, true)
 		gcfg.PrePromoted = ids
-		guided := cpu.Run(prog, gcfg)
+		guided, err := timedRun(ctx, prog, gcfg)
+		if err != nil {
+			return err
+		}
 
-		res.Rows[i] = ProfileGuidedRow{
+		rows[i] = results.ProfileGuidedRow{
 			Bench:          prog.Name,
 			BaselineIPC:    base.IPC(),
 			DynamicSpeedup: dyn.Speedup(base),
 			GuidedSpeedup:  guided.Speedup(base),
 			GuidedPaths:    len(ids),
 		}
+		return nil
 	})
-	return res, nil
-}
-
-// String renders the comparison.
-func (p *ProfileGuidedResult) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Extension: profile-guided vs dynamic difficult-path promotion")
-	fmt.Fprintln(&b, "(future work in the paper; n=10, T=.10, top paths by misprediction mass)")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "Bench\tbase IPC\tdynamic\tprofile-guided\tguided paths")
-	var dyn, gui []float64
-	for _, r := range p.Rows {
-		fmt.Fprintf(w, "%s\t%.3f\t%s\t%s\t%d\n",
-			r.Bench, r.BaselineIPC, pct(r.DynamicSpeedup), pct(r.GuidedSpeedup), r.GuidedPaths)
-		dyn = append(dyn, r.DynamicSpeedup)
-		gui = append(gui, r.GuidedSpeedup)
-	}
-	fmt.Fprintf(w, "Geomean\t\t%s\t%s\t\n", pct(geomean(dyn)), pct(geomean(gui)))
-	flushTable(w)
-	return b.String()
+	return &results.ProfileGuidedResult{
+		Rows:   keepOK(rows, errs),
+		Errors: runErrors(progs, errs),
+	}, nil
 }

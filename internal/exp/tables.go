@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
-	"text/tabwriter"
+	"context"
 
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
+	"dpbp/internal/results"
 )
 
 // Thresholds are the difficulty thresholds of Tables 1 and 2.
@@ -15,137 +14,104 @@ var Thresholds = []float64{0.05, 0.10, 0.15}
 // PathLengths are the path lengths of Tables 1 and 2 and Figure 6.
 var PathLengths = []int{4, 10, 16}
 
-// Table1Result reproduces Table 1: unique paths, average scope, and
-// difficult-path counts per benchmark for n in {4,10,16} and T in
-// {.05,.10,.15}.
-type Table1Result struct {
-	Rows []Table1Row
-}
+// Result types are defined in internal/results; the aliases keep the
+// experiment entry points and their return types importable from one
+// package.
+type (
+	Table1Result        = results.Table1Result
+	Table2Result        = results.Table2Result
+	Figure6Result       = results.Figure6Result
+	Figure7Runs         = results.Figure7Runs
+	Figure7Result       = results.Figure7Result
+	Figure8Result       = results.Figure8Result
+	Figure9Result       = results.Figure9Result
+	PerfectResult       = results.PerfectResult
+	ProfileGuidedResult = results.ProfileGuidedResult
+	AblationResult      = results.AblationResult
+)
 
-// Table1Row is one benchmark's line.
-type Table1Row struct {
-	Bench string
-	ByN   []pathprof.Table1Row
+// table1Cells normalises the profiler's per-n rows (threshold map keyed
+// by T) into cells whose Difficult slice is parallel to Thresholds.
+func table1Cells(rows []pathprof.Table1Row) []results.Table1Cell {
+	cells := make([]results.Table1Cell, len(rows))
+	for i, r := range rows {
+		c := results.Table1Cell{
+			N:           r.N,
+			UniquePaths: r.UniquePaths,
+			AvgScope:    r.AvgScope,
+			Difficult:   make([]int, len(Thresholds)),
+		}
+		for ti, t := range Thresholds {
+			c.Difficult[ti] = r.DifficultAt[t]
+		}
+		cells[i] = c
+	}
+	return cells
 }
 
 // Table1 runs the functional path profiler over the selected benchmarks.
-func Table1(o Options) (*Table1Result, error) {
+func Table1(ctx context.Context, o Options) (*results.Table1Result, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
-	res := &Table1Result{Rows: make([]Table1Row, len(progs))}
-	forEach(o, progs, func(i int, prog *program.Program) {
+	rows := make([]results.Table1Row, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := pathprof.Run(prog, profileConfig(o))
-		res.Rows[i] = Table1Row{Bench: prog.Name, ByN: p.Table1(Thresholds)}
+		rows[i] = results.Table1Row{Bench: prog.Name, ByN: table1Cells(p.Table1(Thresholds))}
+		return nil
 	})
-	return res, nil
+	return &results.Table1Result{
+		PathLengths: PathLengths,
+		Thresholds:  Thresholds,
+		Rows:        keepOK(rows, errs),
+		Errors:      runErrors(progs, errs),
+	}, nil
 }
 
-// String renders the table in the paper's layout.
-func (t *Table1Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Table 1: unique paths, average scope (insts), difficult paths")
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprint(w, "Bench")
-	for _, n := range PathLengths {
-		fmt.Fprintf(w, "\tn=%d:path\tscope\tT=.05\tT=.10\tT=.15", n)
-	}
-	fmt.Fprintln(w)
-	sums := make([]struct {
-		path, d05, d10, d15 float64
-		scope               float64
-	}, len(PathLengths))
-	for _, r := range t.Rows {
-		fmt.Fprintf(w, "%s", r.Bench)
-		for i, nr := range r.ByN {
-			fmt.Fprintf(w, "\t%d\t%.2f\t%d\t%d\t%d",
-				nr.UniquePaths, nr.AvgScope,
-				nr.DifficultAt[0.05], nr.DifficultAt[0.10], nr.DifficultAt[0.15])
-			sums[i].path += float64(nr.UniquePaths)
-			sums[i].scope += nr.AvgScope
-			sums[i].d05 += float64(nr.DifficultAt[0.05])
-			sums[i].d10 += float64(nr.DifficultAt[0.10])
-			sums[i].d15 += float64(nr.DifficultAt[0.15])
+// table2Blocks normalises the profiler's per-threshold rows (path-length
+// map keyed by n) into blocks whose ByN slice is parallel to PathLengths.
+func table2Blocks(rows []pathprof.Table2Row) []results.Table2Block {
+	blocks := make([]results.Table2Block, len(rows))
+	for i, r := range rows {
+		b := results.Table2Block{
+			T:      r.T,
+			Branch: results.Coverage{MisPct: r.Branch.MisPct, ExePct: r.Branch.ExePct},
+			ByN:    make([]results.Coverage, len(PathLengths)),
 		}
-		fmt.Fprintln(w)
-	}
-	if n := float64(len(t.Rows)); n > 0 {
-		fmt.Fprint(w, "Average")
-		for i := range PathLengths {
-			fmt.Fprintf(w, "\t%.0f\t%.2f\t%.0f\t%.0f\t%.0f",
-				sums[i].path/n, sums[i].scope/n, sums[i].d05/n, sums[i].d10/n, sums[i].d15/n)
+		for ni, n := range PathLengths {
+			c := r.ByN[n]
+			b.ByN[ni] = results.Coverage{MisPct: c.MisPct, ExePct: c.ExePct}
 		}
-		fmt.Fprintln(w)
+		blocks[i] = b
 	}
-	flushTable(w)
-	return b.String()
-}
-
-// Table2Result reproduces Table 2: misprediction and execution coverage
-// for difficult branches vs difficult paths.
-type Table2Result struct {
-	Rows []Table2Row
-}
-
-// Table2Row is one benchmark's line.
-type Table2Row struct {
-	Bench string
-	ByT   []pathprof.Table2Row
+	return blocks
 }
 
 // Table2 runs the functional path profiler over the selected benchmarks.
-func Table2(o Options) (*Table2Result, error) {
+func Table2(ctx context.Context, o Options) (*results.Table2Result, error) {
 	o = o.withDefaults()
 	progs, err := o.programs()
 	if err != nil {
 		return nil, err
 	}
-	res := &Table2Result{Rows: make([]Table2Row, len(progs))}
-	forEach(o, progs, func(i int, prog *program.Program) {
+	rows := make([]results.Table2Row, len(progs))
+	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := pathprof.Run(prog, profileConfig(o))
-		res.Rows[i] = Table2Row{Bench: prog.Name, ByT: p.Table2(Thresholds)}
+		rows[i] = results.Table2Row{Bench: prog.Name, ByT: table2Blocks(p.Table2(Thresholds))}
+		return nil
 	})
-	return res, nil
-}
-
-// String renders the table in the paper's layout, one block per threshold.
-func (t *Table2Result) String() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "Table 2: misprediction (mis%) and execution (exe%) coverage")
-	for ti, T := range Thresholds {
-		fmt.Fprintf(&b, "\nT = %.2f\n", T)
-		w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-		fmt.Fprint(w, "Bench\tBr:mis%\texe%")
-		for _, n := range PathLengths {
-			fmt.Fprintf(w, "\tn=%d:mis%%\texe%%", n)
-		}
-		fmt.Fprintln(w)
-		var bm, be float64
-		pm := make([]float64, len(PathLengths))
-		pe := make([]float64, len(PathLengths))
-		for _, r := range t.Rows {
-			row := r.ByT[ti]
-			fmt.Fprintf(w, "%s\t%.1f\t%.1f", r.Bench, row.Branch.MisPct, row.Branch.ExePct)
-			bm += row.Branch.MisPct
-			be += row.Branch.ExePct
-			for ni, n := range PathLengths {
-				c := row.ByN[n]
-				fmt.Fprintf(w, "\t%.1f\t%.1f", c.MisPct, c.ExePct)
-				pm[ni] += c.MisPct
-				pe[ni] += c.ExePct
-			}
-			fmt.Fprintln(w)
-		}
-		if n := float64(len(t.Rows)); n > 0 {
-			fmt.Fprintf(w, "Average\t%.1f\t%.1f", bm/n, be/n)
-			for ni := range PathLengths {
-				fmt.Fprintf(w, "\t%.1f\t%.1f", pm[ni]/n, pe[ni]/n)
-			}
-			fmt.Fprintln(w)
-		}
-		flushTable(w)
-	}
-	return b.String()
+	return &results.Table2Result{
+		PathLengths: PathLengths,
+		Thresholds:  Thresholds,
+		Rows:        keepOK(rows, errs),
+		Errors:      runErrors(progs, errs),
+	}, nil
 }

@@ -1,0 +1,23 @@
+package mem
+
+// Reset rewinds the hierarchy to its post-construction state — caches
+// empty, DRAM banks idle, store buffer drained, statistics zeroed —
+// without reallocating any of it.
+func (s *System) Reset() {
+	s.L1.Reset()
+	s.L2.Reset()
+	for i := range s.bankFree {
+		s.bankFree[i] = 0
+	}
+	for i := range s.sbAddr {
+		s.sbAddr[i] = 0
+		s.sbUntil[i] = 0
+	}
+	s.sbHead = 0
+	s.Loads = 0
+	s.Stores = 0
+	s.L1Hits = 0
+	s.L2Hits = 0
+	s.DRAMVisits = 0
+	s.SBForwards = 0
+}

@@ -147,3 +147,10 @@ func (h *History) Update(pc isa.Addr) uint64 {
 
 // Value returns the current concatenated hash.
 func (h *History) Value() uint64 { return h.h }
+
+// Reset empties the tracker's history so it can be reused for another
+// run, keeping the ring allocation.
+func (t *Tracker) Reset() {
+	t.head = 0
+	t.cnt = 0
+}

@@ -1,0 +1,15 @@
+package pathcache
+
+// Reset invalidates every entry and zeroes the tick and statistics,
+// returning the cache to its post-construction state without reallocating
+// the backing array.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}

@@ -1,4 +1,4 @@
-package exp
+package report
 
 import (
 	"fmt"

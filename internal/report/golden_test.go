@@ -1,0 +1,63 @@
+package report_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"dpbp/internal/exp"
+	"dpbp/internal/report"
+)
+
+// The goldens in testdata/ were captured from the pre-split renderers
+// (the String() methods that lived on the experiment result types), so
+// these tests prove the extracted text renderer is byte-identical to
+// what the repository has always produced.
+
+// detOptions matches the root determinism tests: small, deterministic,
+// exercises the profiler, the timing core, and the parallel harness.
+func detOptions() exp.Options {
+	return exp.Options{
+		Benchmarks:   []string{"gcc", "li", "mcf_2k"},
+		TimingInsts:  30_000,
+		ProfileInsts: 60_000,
+		Parallelism:  4,
+	}
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestTable1TextGolden(t *testing.T) {
+	r, err := exp.Table1(context.Background(), detOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.TextString(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := golden(t, "table1.golden"); got != want {
+		t.Errorf("Table 1 text diverged from pre-refactor output\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+func TestFigure6TextGolden(t *testing.T) {
+	r, err := exp.Figure6(context.Background(), detOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.TextString(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := golden(t, "figure6.golden"); got != want {
+		t.Errorf("Figure 6 text diverged from pre-refactor output\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}

@@ -1,0 +1,16 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON writes v as indented JSON followed by a newline. The encoding is
+// exactly the typed model in internal/results (field names come from its
+// json tags), so any result — including the composite struct cmd/dpbp
+// emits for -exp all — round-trips.
+func JSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

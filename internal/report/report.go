@@ -1,0 +1,42 @@
+// Package report renders experiment results. It is the presentation
+// layer of the runner architecture: internal/exp computes typed
+// results (internal/results), and this package turns them into
+//
+//   - text: the paper-shaped aligned tables the repository has always
+//     produced (byte-identical to the pre-split renderers for complete
+//     results, golden-tested),
+//   - json: the full typed model, machine-readable,
+//   - csv: flat per-benchmark rows for spreadsheets and plotting.
+//
+// Partial results — sweeps that were cancelled, timed out, or lost
+// individual benchmarks to a panic — render in every format with an
+// explicit error section, never silently.
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Format names for Render.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+	FormatCSV  = "csv"
+)
+
+// Formats lists the supported output formats.
+func Formats() []string { return []string{FormatText, FormatJSON, FormatCSV} }
+
+// Render writes v to w in the named format. An empty format means text.
+func Render(w io.Writer, format string, v any) error {
+	switch format {
+	case "", FormatText:
+		return Text(w, v)
+	case FormatJSON:
+		return JSON(w, v)
+	case FormatCSV:
+		return CSV(w, v)
+	}
+	return fmt.Errorf("report: unknown format %q (have %v)", format, Formats())
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dpbp/internal/results"
+)
+
+// partialTable1 is a hand-built partial result: one completed row, one
+// failed benchmark.
+func partialTable1() *results.Table1Result {
+	return &results.Table1Result{
+		PathLengths: []int{4, 10, 16},
+		Thresholds:  []float64{0.05, 0.10, 0.15},
+		Rows: []results.Table1Row{{
+			Bench: "comp",
+			ByN: []results.Table1Cell{
+				{N: 4, UniquePaths: 10, AvgScope: 5.5, Difficult: []int{3, 2, 1}},
+				{N: 10, UniquePaths: 20, AvgScope: 11.25, Difficult: []int{6, 4, 2}},
+				{N: 16, UniquePaths: 30, AvgScope: 17, Difficult: []int{9, 6, 3}},
+			},
+		}},
+		Errors: []results.RunError{{Bench: "gcc", Err: "run panicked: boom"}},
+	}
+}
+
+func TestTextPartialResultMarked(t *testing.T) {
+	s, err := TextString(partialTable1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "comp", "Average",
+		"PARTIAL RESULT: 1 run(s) did not complete",
+		"gcc: run panicked: boom",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTextCompleteResultHasNoErrorSection(t *testing.T) {
+	r := partialTable1()
+	r.Errors = nil
+	s, err := TextString(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "PARTIAL") {
+		t.Errorf("complete result rendered an error section:\n%s", s)
+	}
+}
+
+func TestTextUnknownType(t *testing.T) {
+	if _, err := TextString(42); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := JSON(&b, partialTable1()); err != nil {
+		t.Fatal(err)
+	}
+	var back results.Table1Result
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0].Bench != "comp" {
+		t.Errorf("rows did not survive: %+v", back.Rows)
+	}
+	if len(back.Errors) != 1 || back.Errors[0].Bench != "gcc" {
+		t.Errorf("errors did not survive: %+v", back.Errors)
+	}
+}
+
+func TestCSVShapeAndErrors(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, partialTable1()); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(strings.NewReader(b.String()))
+	rd.FieldsPerRecord = -1 // ERROR records are shorter than data rows
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if recs[0][0] != "bench" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// One header, three per-n rows for comp, one ERROR record.
+	var dataRows, errRows int
+	for _, r := range recs[1:] {
+		if r[0] == "ERROR" {
+			errRows++
+			if r[1] != "gcc" {
+				t.Errorf("error record misattributed: %v", r)
+			}
+		} else {
+			dataRows++
+			if len(r) != len(recs[0]) {
+				t.Errorf("ragged row: %v", r)
+			}
+		}
+	}
+	if dataRows != 3 || errRows != 1 {
+		t.Errorf("rows = %d data + %d error, want 3 + 1\n%s", dataRows, errRows, b.String())
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	r := partialTable1()
+	for _, format := range []string{"", FormatText, FormatJSON, FormatCSV} {
+		var b strings.Builder
+		if err := Render(&b, format, r); err != nil {
+			t.Errorf("Render(%q): %v", format, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("Render(%q) wrote nothing", format)
+		}
+	}
+	if err := Render(&strings.Builder{}, "yaml", r); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := barChart("title", []string{"a", "bb"}, []float64{10, -5}, "%+.1f", 20)
+	if !strings.Contains(s, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, strings.Repeat("#", 20)) {
+		t.Error("max bar not full width")
+	}
+	if !strings.Contains(s, "----------") {
+		t.Error("negative bar missing")
+	}
+	if !strings.Contains(s, "+10.0") || !strings.Contains(s, "-5.0") {
+		t.Error("values missing")
+	}
+	if barChart("t", []string{"a"}, nil, "%f", 10) != "" {
+		t.Error("mismatched input should render empty")
+	}
+	// All-zero values must not divide by zero.
+	if s := barChart("t", []string{"a"}, []float64{0}, "%.0f", 10); !strings.Contains(s, "a") {
+		t.Error("zero-value chart broken")
+	}
+}
+
+func TestThresholdLabel(t *testing.T) {
+	cases := map[float64]string{0.05: ".05", 0.10: ".10", 0.15: ".15", 1.5: "1.50"}
+	for in, want := range cases {
+		if got := tLabel(in); got != want {
+			t.Errorf("tLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package results is the typed data model for the experiment harness:
+// one plain, JSON-taggable struct per paper table/figure, plus the
+// per-benchmark error records a partially failed or cancelled sweep
+// leaves behind.
+//
+// The package holds data only. Computation lives in internal/exp (which
+// fills these structs), presentation in internal/report (which renders
+// them as text, JSON, or CSV). Keeping the model free of rendering and
+// scheduling concerns is what lets new output formats and new sweep
+// drivers appear without touching the experiments themselves.
+package results
+
+import "dpbp/internal/cpu"
+
+// RunError records one benchmark run that failed to produce a row:
+// a panic converted to an error by the scheduler, a cancelled or
+// timed-out context, or any other per-run failure. Results carrying a
+// non-empty error list are partial: the surviving rows are complete and
+// correct, and every missing benchmark is accounted for here.
+type RunError struct {
+	// Bench names the benchmark (for ablations, "config/bench").
+	Bench string `json:"bench"`
+	// Err is the failure rendered as text.
+	Err string `json:"error"`
+}
+
+// Table1Result reproduces Table 1: unique paths, average scope, and
+// difficult-path counts per benchmark for each path length and
+// threshold.
+type Table1Result struct {
+	// PathLengths are the n values, in column order.
+	PathLengths []int `json:"path_lengths"`
+	// Thresholds are the difficulty thresholds T, in column order.
+	Thresholds []float64   `json:"thresholds"`
+	Rows       []Table1Row `json:"rows"`
+	Errors     []RunError  `json:"errors,omitempty"`
+}
+
+// Table1Row is one benchmark's line.
+type Table1Row struct {
+	Bench string `json:"bench"`
+	// ByN is parallel to PathLengths.
+	ByN []Table1Cell `json:"by_n"`
+}
+
+// Table1Cell is one benchmark's aggregates for a single path length.
+type Table1Cell struct {
+	N           int     `json:"n"`
+	UniquePaths int     `json:"unique_paths"`
+	AvgScope    float64 `json:"avg_scope"`
+	// Difficult counts difficult paths per threshold, parallel to
+	// Table1Result.Thresholds.
+	Difficult []int `json:"difficult"`
+}
+
+// Coverage is a (misprediction %, execution %) pair for one classifier.
+type Coverage struct {
+	MisPct float64 `json:"mis_pct"`
+	ExePct float64 `json:"exe_pct"`
+}
+
+// Table2Result reproduces Table 2: misprediction and execution coverage
+// for difficult branches vs difficult paths.
+type Table2Result struct {
+	PathLengths []int       `json:"path_lengths"`
+	Thresholds  []float64   `json:"thresholds"`
+	Rows        []Table2Row `json:"rows"`
+	Errors      []RunError  `json:"errors,omitempty"`
+}
+
+// Table2Row is one benchmark's line.
+type Table2Row struct {
+	Bench string `json:"bench"`
+	// ByT is parallel to Table2Result.Thresholds.
+	ByT []Table2Block `json:"by_t"`
+}
+
+// Table2Block is one benchmark's coverage at one threshold.
+type Table2Block struct {
+	T      float64  `json:"t"`
+	Branch Coverage `json:"branch"`
+	// ByN is parallel to Table2Result.PathLengths.
+	ByN []Coverage `json:"by_n"`
+}
+
+// Figure6Result reproduces Figure 6: potential IPC speed-up from
+// perfectly predicting the terminating branches of promoted difficult
+// paths.
+type Figure6Result struct {
+	PathLengths []int        `json:"path_lengths"`
+	Rows        []Figure6Row `json:"rows"`
+	// Geomean holds the geometric-mean speedup per path length, over
+	// the benchmarks that completed.
+	Geomean map[int]float64 `json:"geomean"`
+	Errors  []RunError      `json:"errors,omitempty"`
+}
+
+// Figure6Row is one benchmark's bars.
+type Figure6Row struct {
+	Bench       string  `json:"bench"`
+	BaselineIPC float64 `json:"baseline_ipc"`
+	// SpeedupByN maps path length to potential speedup (IPC ratio).
+	SpeedupByN map[int]float64 `json:"speedup_by_n"`
+}
+
+// Figure7Runs bundles the four timing runs behind Figures 7, 8, and 9
+// for one benchmark: baseline, microthreads without pruning, with
+// pruning, and overhead-only (predictions dropped, pruning off).
+type Figure7Runs struct {
+	Bench    string      `json:"bench"`
+	Base     *cpu.Result `json:"base"`
+	NoPrune  *cpu.Result `json:"no_prune"`
+	Prune    *cpu.Result `json:"prune"`
+	Overhead *cpu.Result `json:"overhead"`
+}
+
+// Figure7Result reproduces Figure 7: realistic speed-up with and without
+// pruning, and the overhead-only configuration.
+type Figure7Result struct {
+	Runs   []Figure7Runs `json:"runs"`
+	Errors []RunError    `json:"errors,omitempty"`
+}
+
+// Figure8Result reproduces Figure 8: average routine size and average
+// longest dependence chain, with and without pruning.
+type Figure8Result struct {
+	Runs   []Figure7Runs `json:"runs"`
+	Errors []RunError    `json:"errors,omitempty"`
+}
+
+// Figure9Result reproduces Figure 9: prediction timeliness (early, late,
+// useless) without and with pruning.
+type Figure9Result struct {
+	Runs   []Figure7Runs `json:"runs"`
+	Errors []RunError    `json:"errors,omitempty"`
+}
+
+// PerfectResult reproduces the Section 1 claim: the IPC available from
+// perfect prediction of all branches over the aggressive baseline.
+type PerfectResult struct {
+	Rows []PerfectRow `json:"rows"`
+	// GeomeanSpeedup across completed benchmarks (the paper reports
+	// ~2x).
+	GeomeanSpeedup float64    `json:"geomean_speedup"`
+	Errors         []RunError `json:"errors,omitempty"`
+}
+
+// PerfectRow is one benchmark's bound.
+type PerfectRow struct {
+	Bench              string  `json:"bench"`
+	BaselineIPC        float64 `json:"baseline_ipc"`
+	PerfectIPC         float64 `json:"perfect_ipc"`
+	Speedup            float64 `json:"speedup"`
+	BaselineMisprRatio float64 `json:"baseline_mispredict_ratio"`
+}
+
+// ProfileGuidedResult is the extension experiment beyond the paper's
+// figures: profile-guided vs dynamic difficult-path promotion.
+type ProfileGuidedResult struct {
+	Rows   []ProfileGuidedRow `json:"rows"`
+	Errors []RunError         `json:"errors,omitempty"`
+}
+
+// ProfileGuidedRow is one benchmark's comparison.
+type ProfileGuidedRow struct {
+	Bench          string  `json:"bench"`
+	BaselineIPC    float64 `json:"baseline_ipc"`
+	DynamicSpeedup float64 `json:"dynamic_speedup"` // paper's mechanism (Path Cache training)
+	GuidedSpeedup  float64 `json:"guided_speedup"`  // profile-guided promotions
+	GuidedPaths    int     `json:"guided_paths"`    // promotions fed in
+}
+
+// AblationResult quantifies the design choices DESIGN.md calls out, each
+// as a geomean speed-up over the shared baseline across the selected
+// benchmarks.
+type AblationResult struct {
+	Rows   []AblationRow `json:"rows"`
+	Errors []RunError    `json:"errors,omitempty"`
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Name    string  `json:"name"`
+	Speedup float64 `json:"speedup"` // geomean over baseline
+}

@@ -1,0 +1,22 @@
+package results
+
+import "math"
+
+// Geomean returns the geometric mean of xs (1.0 for empty input, 0 if
+// any value is non-positive). Both the experiment harness and the
+// renderers aggregate speedups with it; keeping one implementation on
+// the data model guarantees the rendered geomeans match the computed
+// ones bit for bit.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	p := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(xs)))
+}

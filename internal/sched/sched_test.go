@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderPreserved(t *testing.T) {
+	const n = 50
+	out := make([]int, n)
+	errs := Run(context.Background(), n, Options{Parallelism: 8}, func(_ context.Context, i int) error {
+		out[i] = i * i
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if out[i] != i*i {
+			t.Errorf("slot %d = %d, want %d", i, out[i], i*i)
+		}
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	const par = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	Run(context.Background(), 24, Options{Parallelism: par}, func(_ context.Context, i int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if p := peak.Load(); p > par {
+		t.Errorf("peak parallelism %d exceeds bound %d", p, par)
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	const n = 20
+	var completed atomic.Int64
+	errs := Run(context.Background(), n, Options{Parallelism: 4}, func(_ context.Context, i int) error {
+		if i == 7 {
+			panic("seeded failure")
+		}
+		completed.Add(1)
+		return nil
+	})
+	if got := completed.Load(); got != n-1 {
+		t.Errorf("completed %d of %d healthy runs", got, n-1)
+	}
+	for i, err := range errs {
+		if i == 7 {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("run 7 error = %v, want *PanicError", err)
+			}
+			if !strings.Contains(pe.Error(), "seeded failure") {
+				t.Errorf("panic message lost: %v", pe)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("panic stack not captured")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestRunErrorsStayPerSlot(t *testing.T) {
+	want := errors.New("boom")
+	errs := Run(context.Background(), 5, Options{Parallelism: 2}, func(_ context.Context, i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("run %d: %w", i, want)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i%2 == 1 && !errors.Is(err, want) {
+			t.Errorf("run %d error = %v", i, err)
+		}
+		if i%2 == 0 && err != nil {
+			t.Errorf("run %d unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	errs := Run(ctx, 10, Options{Parallelism: 1}, func(ctx context.Context, i int) error {
+		started.Add(1)
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		return ctx.Err()
+	})
+	var cancelled int
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no run observed cancellation")
+	}
+	if got := started.Load(); got == 10 {
+		t.Error("cancelled sweep still started every run")
+	}
+}
+
+func TestRunPerRunTimeout(t *testing.T) {
+	errs := Run(context.Background(), 2, Options{Parallelism: 2, RunTimeout: 5 * time.Millisecond},
+		func(ctx context.Context, i int) error {
+			if i == 0 {
+				return nil // fast run, unaffected
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	if errs[0] != nil {
+		t.Errorf("fast run err = %v", errs[0])
+	}
+	if !errors.Is(errs[1], context.DeadlineExceeded) {
+		t.Errorf("slow run err = %v, want deadline exceeded", errs[1])
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	errs := Run(context.Background(), 0, Options{}, func(_ context.Context, i int) error {
+		t.Fatal("fn called for empty input")
+		return nil
+	})
+	if len(errs) != 0 {
+		t.Errorf("errs = %v", errs)
+	}
+}

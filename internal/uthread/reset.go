@@ -1,0 +1,29 @@
+package uthread
+
+// Reset empties the buffer so it can host another run's retirement stream
+// without reallocating the ring.
+func (p *PRB) Reset() {
+	p.size = 0
+	p.next = 0
+	p.started = false
+}
+
+// Reset removes every routine and zeroes the statistics, keeping the map
+// allocations for reuse.
+func (m *MicroRAM) Reset() {
+	clear(m.routines)
+	clear(m.bySpawn)
+	clear(m.rebuild)
+	m.Installs = 0
+	m.Refusals = 0
+	m.Removals = 0
+}
+
+// Reset reconfigures the builder in place and zeroes its statistics.
+func (b *Builder) Reset(cfg BuildConfig) {
+	if cfg.MCBCapacity <= 0 {
+		cfg.MCBCapacity = 64
+	}
+	b.cfg = cfg
+	b.Stats = BuildStats{}
+}

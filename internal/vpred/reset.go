@@ -1,0 +1,13 @@
+package vpred
+
+// Reset invalidates every entry and zeroes the statistics so the predictor
+// can be reused for another run without reallocating its table.
+func (p *Predictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = entry{}
+	}
+	p.Trains = 0
+	p.Hits = 0
+	p.Queries = 0
+	p.Confidents = 0
+}
