@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json ci
+.PHONY: all build vet lint test race bench bench-json profile ci
 
 all: build vet lint test
 
@@ -34,5 +34,16 @@ bench:
 BENCHTIME ?= 1x
 bench-json:
 	@$(GO) test -json -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+
+# profile runs the full cached `-exp all` workload under the CPU and heap
+# profilers. Inspect with `go tool pprof $(PROFDIR)/cpu.out` (or mem.out);
+# this is the workload every hot-loop optimisation is judged against.
+PROFDIR ?= profiles
+profile:
+	mkdir -p $(PROFDIR)
+	$(GO) run ./cmd/dpbp -exp all \
+		-cpuprofile $(PROFDIR)/cpu.out -memprofile $(PROFDIR)/mem.out \
+		> /dev/null
+	@echo "wrote $(PROFDIR)/cpu.out and $(PROFDIR)/mem.out"
 
 ci: build vet lint test race

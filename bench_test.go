@@ -154,6 +154,51 @@ func BenchmarkPerfect(b *testing.B) {
 	}
 }
 
+// expAll runs every section `dpbp -exp all` renders, against one shared
+// options value.
+func expAll(b *testing.B, o ExperimentOptions) {
+	b.Helper()
+	ctx := context.Background()
+	if _, err := Table1(ctx, o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Table2(ctx, o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Perfect(ctx, o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Figure6(ctx, o); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := RunFigure7Set(ctx, o); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExpAll measures the whole `dpbp -exp all` computation —
+// every table and figure against one options value — with and without
+// the run cache. The gap is what content-addressed memoization buys:
+// the sections re-request each benchmark's baseline run and share one
+// profile, so the cached variant computes each unique run exactly once
+// (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkExpAll(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			expAll(b, benchOpts())
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := benchOpts()
+			o.Cache = NewRunCache() // fresh per iteration: measure fill, not reuse
+			expAll(b, o)
+		}
+	})
+}
+
 // ablationRun runs comp+vortex+go with a mutated mechanism config and
 // returns the geomean speed-up over baseline, in percent.
 func ablationRun(b *testing.B, mut func(*MachineConfig)) float64 {

@@ -1,0 +1,99 @@
+package dpbp_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dpbp"
+)
+
+// The run cache's contract has two halves: results must be bit-identical
+// to fresh computation (the simulator is deterministic, so memoization is
+// invisible), and each unique (program, configuration) run must be
+// computed exactly once no matter how many experiments request it.
+
+// cachedOptions is detOptions plus a fresh cache.
+func cachedOptions() dpbp.ExperimentOptions {
+	o := detOptions()
+	o.Cache = dpbp.NewRunCache()
+	return o
+}
+
+// TestRunCacheExactlyOnce repeats an experiment against one shared cache
+// and requires the second pass to compute nothing new: every run and
+// profile is served from the cache, observed via the stats counters.
+func TestRunCacheExactlyOnce(t *testing.T) {
+	o := cachedOptions()
+	if _, _, err := dpbp.RunFigure7Set(context.Background(), o); err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+	first := o.Cache.Stats()
+	if first.Computes == 0 {
+		t.Fatal("first pass computed nothing — cache not wired into the harness")
+	}
+	if n := o.Cache.Len(); uint64(n) != first.Computes {
+		t.Errorf("cache holds %d entries after %d computes; every compute should cache exactly one value",
+			n, first.Computes)
+	}
+
+	if _, _, err := dpbp.RunFigure7Set(context.Background(), o); err != nil {
+		t.Fatalf("second pass: %v", err)
+	}
+	second := o.Cache.Stats()
+	if second.Computes != first.Computes {
+		t.Errorf("second pass recomputed: Computes went %d -> %d, want no change",
+			first.Computes, second.Computes)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("second pass did not hit the cache: Hits went %d -> %d", first.Hits, second.Hits)
+	}
+}
+
+// TestRunCacheSharedAcrossExperiments requires experiments that request
+// the same underlying runs (Figure 6 and the Figure 7 set share each
+// benchmark's baseline) to share cache entries rather than recompute.
+func TestRunCacheSharedAcrossExperiments(t *testing.T) {
+	o := cachedOptions()
+	if _, err := dpbp.Figure6(context.Background(), o); err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	after6 := o.Cache.Stats()
+	if _, _, err := dpbp.RunFigure7Set(context.Background(), o); err != nil {
+		t.Fatalf("RunFigure7Set: %v", err)
+	}
+	after7 := o.Cache.Stats()
+	if after7.Hits == after6.Hits {
+		t.Error("Figure 7 set reused nothing from Figure 6; shared baselines should hit")
+	}
+}
+
+// TestRunCacheMatchesFresh requires cached results to be deeply equal to
+// freshly computed ones, for both a figure and a profile-backed table.
+func TestRunCacheMatchesFresh(t *testing.T) {
+	ctx := context.Background()
+
+	fresh7, freshErrs, err := dpbp.RunFigure7Set(ctx, detOptions())
+	if err != nil {
+		t.Fatalf("fresh Figure7 set: %v", err)
+	}
+	cached7, cachedErrs, err := dpbp.RunFigure7Set(ctx, cachedOptions())
+	if err != nil {
+		t.Fatalf("cached Figure7 set: %v", err)
+	}
+	if !reflect.DeepEqual(fresh7, cached7) || !reflect.DeepEqual(freshErrs, cachedErrs) {
+		t.Error("cached Figure 7 runs differ from fresh ones")
+	}
+
+	freshT1, err := dpbp.Table1(ctx, detOptions())
+	if err != nil {
+		t.Fatalf("fresh Table1: %v", err)
+	}
+	cachedT1, err := dpbp.Table1(ctx, cachedOptions())
+	if err != nil {
+		t.Fatalf("cached Table1: %v", err)
+	}
+	if !reflect.DeepEqual(freshT1, cachedT1) {
+		t.Error("cached Table 1 differs from fresh one")
+	}
+}

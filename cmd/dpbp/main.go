@@ -10,8 +10,12 @@
 //	-format text|json|csv output format (default text)
 //	-insts N              timing-run instruction budget (0 = library default)
 //	-profinsts N          profiling-run instruction budget (0 = library default)
-//	-par N                parallel benchmark runs (0 = NumCPU)
+//	-j N                  parallel benchmark runs (0 = GOMAXPROCS; overrides -par)
+//	-par N                deprecated alias for -j
 //	-timeout D            whole-invocation time budget (e.g. 90s; 0 = none)
+//	-nocache              recompute every run instead of memoizing
+//	-cpuprofile FILE      write a CPU profile of the whole invocation
+//	-memprofile FILE      write a heap profile at exit
 //
 // Instruction budgets left at zero use the library defaults, so the
 // numbers live in one place (internal/exp). When -timeout expires the
@@ -19,6 +23,12 @@
 // rows, and every missing one is listed in an explicit error section
 // (text marks the output PARTIAL RESULT; JSON and CSV carry the errors
 // structurally).
+//
+// Runs are memoized through a content-addressed cache, so experiments
+// sharing configurations (the figures re-request the same baselines;
+// Tables 1 and 2 share one profile) compute each unique run exactly
+// once. Results are bit-identical either way; -nocache exists for
+// timing comparisons.
 package main
 
 import (
@@ -27,7 +37,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dpbp"
 	"dpbp/internal/report"
@@ -39,28 +52,81 @@ func main() {
 	format := flag.String("format", "", "output format: text, json, csv (default text)")
 	insts := flag.Uint64("insts", 0, "timing-run instruction budget (0 = library default)")
 	profInsts := flag.Uint64("profinsts", 0, "profiling-run instruction budget (0 = library default)")
-	par := flag.Int("par", 0, "parallel benchmark runs (0 = NumCPU)")
+	jobs := flag.Int("j", 0, "parallel benchmark runs (0 = GOMAXPROCS; overrides -par)")
+	par := flag.Int("par", 0, "deprecated alias for -j")
 	timeout := flag.Duration("timeout", 0, "whole-invocation time budget; expired sweeps emit partial results (0 = none)")
+	noCache := flag.Bool("nocache", false, "recompute every run instead of memoizing shared ones")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
+	os.Exit(mainExit(*expName, *bench, *format, *insts, *profInsts, *jobs, *par,
+		*timeout, *noCache, *cpuProfile, *memProfile))
+}
+
+// mainExit is main minus os.Exit, so profile writers run via defer before
+// the process terminates.
+func mainExit(expName, bench, format string, insts, profInsts uint64, jobs, par int,
+	timeout time.Duration, noCache bool, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpbp:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dpbp:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dpbp:", err)
+			}
+		}()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dpbp:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dpbp:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dpbp:", err)
+			}
+		}()
+	}
+
 	ctx := context.Background()
-	if *timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
+	if jobs == 0 {
+		jobs = par
+	}
 	opts := dpbp.ExperimentOptions{
-		Benchmarks:   parseBenchList(*bench),
-		TimingInsts:  *insts,
-		ProfileInsts: *profInsts,
-		Parallelism:  *par,
+		Benchmarks:   parseBenchList(bench),
+		TimingInsts:  insts,
+		ProfileInsts: profInsts,
+		Parallelism:  jobs,
+	}
+	if !noCache {
+		opts.Cache = dpbp.NewRunCache()
 	}
 
-	if err := run(ctx, os.Stdout, *expName, *format, opts); err != nil {
+	if err := run(ctx, os.Stdout, expName, format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dpbp:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseBenchList splits a -bench argument; empty means all benchmarks.

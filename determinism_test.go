@@ -79,6 +79,41 @@ func TestGOMAXPROCSDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunCacheByteDeterminism requires rendered output to be
+// byte-identical whether runs are served from a shared cache or computed
+// fresh — memoization must be observationally invisible.
+func TestRunCacheByteDeterminism(t *testing.T) {
+	fresh1 := table1Bytes(t)
+	fresh6 := figure6Bytes(t)
+
+	o := detOptions()
+	o.Cache = dpbp.NewRunCache()
+	for pass := 1; pass <= 2; pass++ { // second pass reads the warm cache
+		res1, err := dpbp.Table1(context.Background(), o)
+		if err != nil {
+			t.Fatalf("cached Table1 pass %d: %v", pass, err)
+		}
+		s1, err := dpbp.Text(res1)
+		if err != nil {
+			t.Fatalf("Text: %v", err)
+		}
+		res6, err := dpbp.Figure6(context.Background(), o)
+		if err != nil {
+			t.Fatalf("cached Figure6 pass %d: %v", pass, err)
+		}
+		s6, err := dpbp.Text(res6)
+		if err != nil {
+			t.Fatalf("Text: %v", err)
+		}
+		if s1 != fresh1 {
+			t.Errorf("pass %d: cached Table 1 bytes differ from fresh", pass)
+		}
+		if s6 != fresh6 {
+			t.Errorf("pass %d: cached Figure 6 bytes differ from fresh", pass)
+		}
+	}
+}
+
 func table1Bytes(t *testing.T) string {
 	t.Helper()
 	res, err := dpbp.Table1(context.Background(), detOptions())

@@ -7,12 +7,28 @@ import (
 	"dpbp/internal/exp"
 	"dpbp/internal/report"
 	"dpbp/internal/results"
+	"dpbp/internal/runcache"
 )
 
 // ExperimentOptions selects benchmarks and budgets for the paper's
 // experiments. The zero value runs all twenty benchmarks with the default
 // instruction budgets, no per-run timeout, and NumCPU parallelism.
 type ExperimentOptions = exp.Options
+
+// RunCache memoizes timing runs, profiling runs, and generated benchmark
+// programs by content-addressed key, with single-flight semantics for
+// concurrent requests. Assign one (via NewRunCache) to
+// ExperimentOptions.Cache and share it across experiment calls: because
+// the simulator is bit-deterministic, cached results are identical to
+// fresh ones, and each unique run is computed exactly once. Cached
+// results are shared — treat them as immutable.
+type RunCache = runcache.Cache
+
+// RunCacheStats is a snapshot of a RunCache's traffic counters.
+type RunCacheStats = runcache.Stats
+
+// NewRunCache returns an empty run cache.
+func NewRunCache() *RunCache { return runcache.New() }
 
 // RunError records one benchmark run that failed to complete (panic,
 // cancellation, per-run timeout). Results carrying a non-empty Errors

@@ -11,6 +11,9 @@ type Gshare struct {
 	hist     uint64
 	histBits uint
 	mask     uint64
+	// histShift positions the history against the PC in index:
+	// log2(len(pht)) - histBits, fixed at construction.
+	histShift uint
 }
 
 // NewGshare returns a gshare predictor with entries counters (rounded up
@@ -21,7 +24,8 @@ func NewGshare(entries int) *Gshare {
 	if hb > 16 {
 		hb = 16
 	}
-	g := &Gshare{pht: make([]counter2, n), histBits: hb, mask: uint64(n - 1)}
+	g := &Gshare{pht: make([]counter2, n), histBits: hb, mask: uint64(n - 1),
+		histShift: uint(log2(n)) - hb}
 	for i := range g.pht {
 		g.pht[i] = weaklyTaken
 	}
@@ -29,7 +33,7 @@ func NewGshare(entries int) *Gshare {
 }
 
 func (g *Gshare) index(pc isa.Addr) uint64 {
-	return (uint64(pc) ^ (g.hist << (log2(len(g.pht)) - int(g.histBits)))) & g.mask
+	return (uint64(pc) ^ (g.hist << g.histShift)) & g.mask
 }
 
 // Predict returns the predicted direction for the conditional branch at pc.

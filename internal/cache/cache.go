@@ -19,17 +19,25 @@ type Config struct {
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	cfg      Config
-	sets     int
-	tags     [][]uint64
-	valid    [][]bool
-	lru      [][]uint64
+	cfg  Config
+	sets int
+	// ways holds all sets back to back: set s occupies
+	// ways[s*cfg.Ways : (s+1)*cfg.Ways]. One flat allocation keeps a
+	// whole set on one or two cache lines for the probe loop.
+	ways     []way
 	tick     uint64
 	lineBits uint
 
 	// Stats.
 	Accesses uint64
 	Misses   uint64
+}
+
+// way is one line's bookkeeping: its tag, last-use tick, and validity.
+type way struct {
+	tag   uint64
+	lru   uint64
+	valid bool
 }
 
 // New returns a cache configured by cfg; sizes are rounded to powers of
@@ -56,14 +64,7 @@ func New(cfg Config) *Cache {
 		lb++
 	}
 	c := &Cache{cfg: cfg, sets: sets, lineBits: lb}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.valid[i] = make([]bool, cfg.Ways)
-		c.lru[i] = make([]uint64, cfg.Ways)
-	}
+	c.ways = make([]way, sets*cfg.Ways)
 	return c
 }
 
@@ -72,33 +73,37 @@ func (c *Cache) Line(addr isa.Addr) uint64 { return uint64(addr) >> c.lineBits }
 
 func (c *Cache) setOf(line uint64) int { return int(line & uint64(c.sets-1)) }
 
+// set returns the ways of the set holding line.
+func (c *Cache) set(line uint64) []way {
+	s := c.setOf(line) * c.cfg.Ways
+	return c.ways[s : s+c.cfg.Ways]
+}
+
 // Access probes the cache for the line containing addr, filling on a miss
 // (allocate-on-miss), and reports whether it hit.
 func (c *Cache) Access(addr isa.Addr) bool {
 	c.Accesses++
 	c.tick++
 	line := c.Line(addr)
-	s := c.setOf(line)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[s][w] && c.tags[s][w] == line {
-			c.lru[s][w] = c.tick
+	set := c.set(line)
+	for w := range set {
+		if e := &set[w]; e.valid && e.tag == line {
+			e.lru = c.tick
 			return true
 		}
 	}
 	c.Misses++
 	victim := 0
-	for w := 1; w < c.cfg.Ways; w++ {
-		if !c.valid[s][w] {
+	for w := 1; w < len(set); w++ {
+		if !set[w].valid {
 			victim = w
 			break
 		}
-		if c.lru[s][w] < c.lru[s][victim] {
+		if set[w].lru < set[victim].lru {
 			victim = w
 		}
 	}
-	c.tags[s][victim] = line
-	c.valid[s][victim] = true
-	c.lru[s][victim] = c.tick
+	set[victim] = way{tag: line, lru: c.tick, valid: true}
 	return false
 }
 
@@ -106,9 +111,9 @@ func (c *Cache) Access(addr isa.Addr) bool {
 // updating LRU state or filling.
 func (c *Cache) Probe(addr isa.Addr) bool {
 	line := c.Line(addr)
-	s := c.setOf(line)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[s][w] && c.tags[s][w] == line {
+	set := c.set(line)
+	for w := range set {
+		if set[w].valid && set[w].tag == line {
 			return true
 		}
 	}
@@ -119,10 +124,10 @@ func (c *Cache) Probe(addr isa.Addr) bool {
 // are sent to the L2 and invalidated in the L1).
 func (c *Cache) Invalidate(addr isa.Addr) {
 	line := c.Line(addr)
-	s := c.setOf(line)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[s][w] && c.tags[s][w] == line {
-			c.valid[s][w] = false
+	set := c.set(line)
+	for w := range set {
+		if set[w].valid && set[w].tag == line {
+			set[w].valid = false
 			return
 		}
 	}

@@ -1,18 +1,11 @@
 package cache
 
 // Reset invalidates every line and zeroes the statistics, returning the
-// cache to its post-construction state without reallocating the tag
-// arrays.
+// cache to its post-construction state without reallocating the way
+// array. Stale tags and ticks are cleared too: victim selection consults
+// lru before checking validity, so leftovers would steer replacement.
 func (c *Cache) Reset() {
-	for s := range c.valid {
-		vs, ls := c.valid[s], c.lru[s]
-		for w := range vs {
-			vs[w] = false
-			// Victim selection consults lru[0] before checking its
-			// validity, so stale ticks would steer replacement.
-			ls[w] = 0
-		}
-	}
+	clear(c.ways)
 	c.tick = 0
 	c.Accesses = 0
 	c.Misses = 0

@@ -1,40 +1,49 @@
 package cpu
 
+import "fmt"
+
 // calendar tracks per-cycle usage of a shared resource (functional units,
 // L1 read ports) over a sliding horizon. Slots are validated by absolute
-// cycle so the ring can be reused without explicit clearing; scheduling
-// never looks further ahead than memory latency plus queueing, far below
-// the horizon.
+// cycle and a generation number, so the ring can be reused across cycles
+// and across runs without any clearing; scheduling never looks further
+// ahead than memory latency plus queueing, far below the horizon, and
+// earliest/earliest2 panic if that invariant is ever violated rather than
+// silently aliasing the ring.
 type calendar struct {
 	limit int
-	used  []uint16
-	cycle []uint64
+	// gen distinguishes runs: reset bumps it, instantly invalidating
+	// every slot. Zeroing the two 32K-slot arrays on every reset cost
+	// ~640KB of writes per run pair; the generation check is one extra
+	// compare on a line the slot access already touched.
+	gen     uint64
+	used    []uint16
+	cycle   []uint64
+	slotGen []uint64
 }
 
 const calendarHorizon = 1 << 15
 
 func newCalendar(limit int) *calendar {
 	return &calendar{
-		limit: limit,
-		used:  make([]uint16, calendarHorizon),
-		cycle: make([]uint64, calendarHorizon),
+		limit:   limit,
+		gen:     1,
+		used:    make([]uint16, calendarHorizon),
+		cycle:   make([]uint64, calendarHorizon),
+		slotGen: make([]uint64, calendarHorizon),
 	}
 }
 
-// reset clears every slot so the calendar can serve another run. Both
-// arrays must be zeroed: slot validation compares stored absolute cycles,
-// and a new run's cycle numbers restart from zero, so stale entries could
-// otherwise masquerade as live bookings.
+// reset invalidates every slot so the calendar can serve another run. A
+// new run's cycle numbers restart from zero, so stale entries could
+// otherwise masquerade as live bookings; bumping the generation retires
+// them all in O(1).
 func (c *calendar) reset() {
-	for i := range c.used {
-		c.used[i] = 0
-		c.cycle[i] = 0
-	}
+	c.gen++
 }
 
 func (c *calendar) usedAt(cyc uint64) uint16 {
 	i := cyc % calendarHorizon
-	if c.cycle[i] != cyc {
+	if c.slotGen[i] != c.gen || c.cycle[i] != cyc {
 		return 0
 	}
 	return c.used[i]
@@ -42,7 +51,8 @@ func (c *calendar) usedAt(cyc uint64) uint16 {
 
 func (c *calendar) add(cyc uint64) {
 	i := cyc % calendarHorizon
-	if c.cycle[i] != cyc {
+	if c.slotGen[i] != c.gen || c.cycle[i] != cyc {
+		c.slotGen[i] = c.gen
 		c.cycle[i] = cyc
 		c.used[i] = 0
 	}
@@ -53,8 +63,22 @@ func (c *calendar) add(cyc uint64) {
 // slot has already been recycled.
 func (c *calendar) remove(cyc uint64) {
 	i := cyc % calendarHorizon
-	if c.cycle[i] == cyc && c.used[i] > 0 {
+	if c.slotGen[i] == c.gen && c.cycle[i] == cyc && c.used[i] > 0 {
 		c.used[i]--
+	}
+}
+
+// checkHorizon panics when a scan for a free slot has moved a full ring
+// width past ready: one more step would alias the slot the scan started
+// from and silently corrupt bookings. Reaching it means the model booked
+// calendarHorizon consecutive full cycles, which no latency in the
+// machine can produce; failing loudly (the scheduler's panic isolation
+// turns this into a per-run error) beats wrong numbers.
+func (c *calendar) checkHorizon(cyc, ready uint64) {
+	if cyc-ready >= calendarHorizon {
+		panic(fmt.Sprintf(
+			"cpu: resource calendar fully booked from cycle %d through %d (horizon %d, limit %d/cycle)",
+			ready, cyc, calendarHorizon, c.limit))
 	}
 }
 
@@ -64,6 +88,7 @@ func (c *calendar) earliest(ready uint64) uint64 {
 	cyc := ready
 	for c.usedAt(cyc) >= uint16(c.limit) {
 		cyc++
+		c.checkHorizon(cyc, ready)
 	}
 	c.add(cyc)
 	return cyc
@@ -76,6 +101,7 @@ func earliest2(a, b *calendar, ready uint64) uint64 {
 	cyc := ready
 	for a.usedAt(cyc) >= uint16(a.limit) || b.usedAt(cyc) >= uint16(b.limit) {
 		cyc++
+		a.checkHorizon(cyc, ready)
 	}
 	a.add(cyc)
 	b.add(cyc)

@@ -215,6 +215,13 @@ func DefaultConfig() Config {
 	}
 }
 
+// Canonical returns the configuration with every zero field replaced by
+// its Table 3 default — exactly the configuration a run with c actually
+// uses (Machine.Reset applies the same defaulting). Two Configs that
+// canonicalize equal produce bit-identical runs, which is what makes
+// Canonical the right input for content-addressed run caching.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 // withDefaults fills zero fields from DefaultConfig, preserving Mode and
 // the boolean switches as given.
 func (c Config) withDefaults() Config {
@@ -300,5 +307,9 @@ func (c Config) withDefaults() Config {
 	if c.ThrottleMinYield == 0 {
 		c.ThrottleMinYield = d.ThrottleMinYield
 	}
+	// The memory system defaults its own zero fields in mem.New, so the
+	// canonical form must apply the same filling or two configurations
+	// that build identical hierarchies would key differently.
+	c.Mem = c.Mem.Canonical()
 	return c
 }

@@ -39,10 +39,16 @@ type Machine struct {
 	uram      *uthread.MicroRAM
 	predCache *pcache.Cache
 
-	routineReady  map[path.ID]uint64
+	// uenv is the microthreads' view of the machine, built once per
+	// Machine: its closures read the current components through m, so
+	// spawns share it instead of allocating an Env (and four closures)
+	// each.
+	uenv uthread.Env
+
+	routineReady  pathMap
 	builderFreeAt uint64
-	promoted      map[path.ID]bool // ModePerfectPromoted's promoted set
-	prePromoted   map[path.ID]bool // profile-guided unconditional promotions
+	promoted      pathMap // ModePerfectPromoted's promoted set
+	prePromoted   pathMap // profile-guided unconditional promotions
 
 	// Spawn-throttle feedback state.
 	throttled      bool
@@ -51,12 +57,28 @@ type Machine struct {
 	windowSpawns   uint64
 
 	ctxs []mctx
+	// activeCtxs counts active microcontexts so monitorContexts — which
+	// otherwise scans every context for every retired instruction — can
+	// skip the scan entirely while nothing is in flight.
+	activeCtxs int
+	// activeBits is a bitmask over ctxs (bit i = ctxs[i].active), so the
+	// per-retirement monitor visits only live contexts and context
+	// allocation finds the lowest free slot without a scan.
+	activeBits []uint64
 
 	fus, ports *calendar
 	regReady   [isa.NumRegs]uint64
-	retRing    []uint64
-	lastRet    uint64
-	retCount   int
+	// retRing is sized to the next power of two >= WindowSize so the
+	// per-instruction slot index is a mask, not a division; slot
+	// seq&retMask holds the retire cycle of instruction seq until
+	// overwritten >= len(retRing) instructions later.
+	retRing  []uint64
+	retMask  uint64
+	lastRet  uint64
+	retCount int
+
+	// isBr[pc] caches Code[pc].IsBranch() for the fetch loop.
+	isBr []bool
 
 	// Front-end state.
 	fc           uint64
@@ -99,6 +121,18 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 
 	if fresh {
 		m.em = emu.New(prog)
+		// The closures dereference m at call time, so they stay correct
+		// when Reset swaps components (emulator, predictors) underneath.
+		m.uenv = uthread.Env{
+			ReadReg: func(r isa.Reg) isa.Word { return m.em.Reg(r) },
+			LoadMem: func(a isa.Addr) isa.Word { return m.em.Mem.Load(a) },
+			PredictValue: func(pc isa.Addr, ahead int) (isa.Word, bool) {
+				return m.vp.Predict(pc, ahead)
+			},
+			PredictAddr: func(pc isa.Addr, ahead int) (isa.Word, bool) {
+				return m.ap.Predict(pc, ahead)
+			},
+		}
 	} else {
 		m.em.Reset(prog)
 	}
@@ -151,31 +185,21 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	} else {
 		m.uram.Reset()
 	}
+	m.uram.IndexCode(len(prog.Code))
 	if fresh || prev.PCacheEntries != cfg.PCacheEntries {
 		m.predCache = pcache.New(cfg.PCacheEntries)
 	} else {
 		m.predCache.Reset()
 	}
 
-	if m.routineReady == nil {
-		m.routineReady = make(map[path.ID]uint64)
-	} else {
-		clear(m.routineReady)
-	}
-	if m.promoted == nil {
-		m.promoted = make(map[path.ID]bool)
-	} else {
-		clear(m.promoted)
-	}
+	m.routineReady.clear()
+	m.promoted.clear()
+	m.prePromoted.clear()
 	m.builderFreeAt = 0
-	m.prePromoted = nil
-	if len(cfg.PrePromoted) > 0 {
-		m.prePromoted = make(map[path.ID]bool, len(cfg.PrePromoted))
-		for _, id := range cfg.PrePromoted {
-			m.prePromoted[path.ID(id)] = true
-			if cfg.Mode == ModePerfectPromoted {
-				m.promoted[path.ID(id)] = true
-			}
+	for _, id := range cfg.PrePromoted {
+		m.prePromoted.set(path.ID(id), 1)
+		if cfg.Mode == ModePerfectPromoted {
+			m.promoted.set(path.ID(id), 1)
 		}
 	}
 
@@ -188,8 +212,16 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 		m.ctxs = make([]mctx, cfg.Microcontexts)
 	} else {
 		for i := range m.ctxs {
-			m.ctxs[i] = mctx{issues: m.ctxs[i].issues[:0]}
+			// Keep the issue and watch backing arrays: both are refilled
+			// on every spawn and were the sweeps' dominant allocations.
+			m.ctxs[i] = mctx{issues: m.ctxs[i].issues[:0], watch: m.ctxs[i].watch[:0]}
 		}
+	}
+	m.activeCtxs = 0
+	if words := (cfg.Microcontexts + 63) / 64; len(m.activeBits) != words {
+		m.activeBits = make([]uint64, words)
+	} else {
+		clear(m.activeBits)
 	}
 
 	if fresh || prev.FUs != cfg.FUs {
@@ -203,12 +235,22 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 		m.ports.reset()
 	}
 	m.regReady = [isa.NumRegs]uint64{}
-	if len(m.retRing) != cfg.WindowSize {
-		m.retRing = make([]uint64, cfg.WindowSize)
+	ringLen := 1
+	for ringLen < cfg.WindowSize {
+		ringLen <<= 1
+	}
+	if len(m.retRing) != ringLen {
+		m.retRing = make([]uint64, ringLen)
 	} else {
-		for i := range m.retRing {
-			m.retRing[i] = 0
-		}
+		clear(m.retRing)
+	}
+	m.retMask = uint64(ringLen - 1)
+	if len(m.isBr) < len(prog.Code) {
+		m.isBr = make([]bool, len(prog.Code))
+	}
+	m.isBr = m.isBr[:len(prog.Code)]
+	for a, in := range prog.Code {
+		m.isBr[a] = in.IsBranch()
 	}
 	m.lastRet = 0
 	m.retCount = 0
@@ -246,9 +288,8 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 			break
 		}
 		pc := m.em.PC()
-		in := prog.At(pc)
 		seq := m.em.Seq()
-		fc := m.fetchCycleFor(pc, in, seq)
+		fc := m.fetchCycleFor(pc, m.isBr[pc], seq)
 		if cfg.Mode == ModeMicrothread {
 			m.trySpawns(pc, seq, fc)
 		}
@@ -296,7 +337,7 @@ func (m *Machine) advanceCycle() {
 // dynamic index i, advancing the front-end state: redirect gaps, window
 // occupancy gating, fetch width, branch-prediction bandwidth, and I-cache
 // line bandwidth and misses.
-func (m *Machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
+func (m *Machine) fetchCycleFor(pc isa.Addr, isBr bool, i uint64) uint64 {
 	if m.redirectAt > m.fc {
 		m.fc = m.redirectAt
 		m.resetFetch()
@@ -305,8 +346,8 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
 
 	// Window gate: instruction i cannot rename before instruction
 	// i-WindowSize has retired.
-	if i >= uint64(m.cfg.WindowSize) {
-		gate := m.retRing[i%uint64(m.cfg.WindowSize)]
+	if w := uint64(m.cfg.WindowSize); i >= w {
+		gate := m.retRing[(i-w)&m.retMask]
 		fl := uint64(m.cfg.FrontLatency)
 		if gate > m.fc+fl {
 			m.fc = gate - fl
@@ -319,7 +360,7 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
 			m.advanceCycle()
 			continue
 		}
-		if in.IsBranch() && m.branchesThis >= m.cfg.BranchesPerCycle {
+		if isBr && m.branchesThis >= m.cfg.BranchesPerCycle {
 			m.advanceCycle()
 			continue
 		}
@@ -345,7 +386,7 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, in isa.Inst, i uint64) uint64 {
 		break
 	}
 	m.instsThis++
-	if in.IsBranch() {
+	if isBr {
 		m.branchesThis++
 	}
 	return m.fc
@@ -399,10 +440,8 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 
 	// Rename and operand readiness.
 	ready := fc + uint64(cfg.FrontLatency)
-	var buf [2]isa.Reg
-	n := in.ReadsInto(&buf)
-	for i := 0; i < n; i++ {
-		if r := buf[i]; r != isa.RZero && m.regReady[r] > ready {
+	for i := 0; i < int(rec.NSrc); i++ {
+		if r := rec.SrcReg[i]; r != isa.RZero && m.regReady[r] > ready {
 			ready = m.regReady[r]
 		}
 	}
@@ -424,16 +463,18 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 		m.regReady[dst] = complete
 	}
 	retC := m.retire(complete)
-	m.retRing[rec.Seq%uint64(cfg.WindowSize)] = retC
+	m.retRing[rec.Seq&m.retMask] = retC
 
-	// Path identity and scope must be taken before this branch enters
-	// the tracker, and retireSide (which may snapshot the tracker's
-	// branch history for the builder) must run before Observe.
+	// Path identity must be taken before this branch enters the tracker,
+	// and retireSide (which may snapshot the tracker's branch history for
+	// the builder) must run before Observe. Only the microthreaded modes
+	// consume the identity; baseline and perfect-all runs skip the hash.
+	// Scope is needed only on the (rare) build path, so retireSide
+	// computes it on demand.
 	var termID path.ID
-	var termScope int
-	if in.IsTerminatingBranch() {
+	if in.IsTerminatingBranch() &&
+		(cfg.Mode == ModeMicrothread || cfg.Mode == ModePerfectPromoted) {
 		termID = m.tracker.ID(rec.PC)
-		termScope = m.tracker.Scope(rec.PC)
 	}
 
 	var hwMiss bool
@@ -441,11 +482,11 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 		hwMiss = m.handleBranch(rec, fc, complete, termID)
 	}
 
-	if cfg.Mode == ModeMicrothread {
+	if cfg.Mode == ModeMicrothread && m.activeCtxs > 0 {
 		m.monitorContexts(rec, fc)
 	}
 
-	m.retireSide(rec, retC, termID, termScope, hwMiss)
+	m.retireSide(rec, retC, termID, hwMiss)
 
 	if rec.Taken {
 		m.tracker.Observe(path.TakenBranch{PC: rec.PC, Target: rec.NextPC, Seq: rec.Seq})
@@ -489,7 +530,7 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 	case ModePerfectAll:
 		next = rec.NextPC
 	case ModePerfectPromoted:
-		if m.promoted[termID] {
+		if m.promoted.has(termID) {
 			next = rec.NextPC
 		}
 	case ModeMicrothread:
@@ -578,7 +619,7 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 // retireSide models the back-end structures fed by the retirement stream:
 // value/address predictor training, the PRB, the Path Cache with its
 // promotion/demotion logic, and the Microthread Builder.
-func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termScope int, hwMiss bool) {
+func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, hwMiss bool) {
 	cfg := &m.cfg
 	in := rec.Inst
 
@@ -588,17 +629,19 @@ func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termS
 	}
 
 	// Train the value/address predictors, then snapshot confidence into
-	// the PRB entry (Section 4.2.5).
-	var vconf, aconf bool
-	if _, ok := in.Writes(); ok {
-		m.vp.Train(rec.PC, rec.DstVal, rec.Seq)
-		vconf = m.vp.Confident(rec.PC)
+	// the PRB entry (Section 4.2.5). Both exist only to feed the
+	// Microthread Builder, which ModePerfectPromoted never invokes, so
+	// that mode skips the whole retirement side channel.
+	if cfg.Mode == ModeMicrothread {
+		var vconf, aconf bool
+		if _, ok := in.Writes(); ok {
+			vconf = m.vp.TrainConfident(rec.PC, rec.DstVal, rec.Seq)
+		}
+		if in.IsLoad() {
+			aconf = m.ap.TrainConfident(rec.PC, rec.SrcVal[0], rec.Seq)
+		}
+		m.prb.PushRec(rec, vconf, aconf)
 	}
-	if in.IsLoad() {
-		m.ap.Train(rec.PC, rec.SrcVal[0], rec.Seq)
-		aconf = m.ap.Confident(rec.PC)
-	}
-	m.prb.Push(uthread.PRBEntry{Rec: *rec, VConfident: vconf, AConfident: aconf})
 
 	if !in.IsTerminatingBranch() || !m.tracker.Full() {
 		return
@@ -607,10 +650,12 @@ func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termS
 	m.updateThrottle()
 
 	// Profile-guided promotions bypass the Path Cache's difficulty
-	// training entirely.
-	if m.prePromoted[termID] {
+	// training entirely. Scope is computed here, not in execute: the
+	// tracker has not Observed this branch yet, so the value is the same,
+	// and the build paths are the only consumers.
+	if m.prePromoted.has(termID) {
 		if cfg.Mode == ModeMicrothread && m.uram.Lookup(termID) == nil {
-			m.buildRoutine(rec, retC, termID, termScope, false)
+			m.buildRoutine(rec, retC, termID, m.tracker.Scope(rec.PC), false)
 		}
 		return
 	}
@@ -619,25 +664,25 @@ func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, termS
 	switch {
 	case ev.Demote:
 		if cfg.Mode == ModePerfectPromoted {
-			delete(m.promoted, termID)
+			m.promoted.delete(termID)
 		} else {
 			m.uram.Remove(termID)
-			delete(m.routineReady, termID)
+			m.routineReady.delete(termID)
 		}
 	case ev.Promote:
 		if cfg.Mode == ModePerfectPromoted {
-			if len(m.promoted) < cfg.MicroRAMEntries {
-				m.promoted[termID] = true
+			if m.promoted.len() < cfg.MicroRAMEntries {
+				m.promoted.set(termID, 1)
 				m.pathCache.SetPromoted(termID, true)
 			} else {
 				m.pathCache.SetPromoted(termID, false)
 			}
 			return
 		}
-		m.buildRoutine(rec, retC, termID, termScope, false)
+		m.buildRoutine(rec, retC, termID, m.tracker.Scope(rec.PC), false)
 	default:
 		if cfg.Mode == ModeMicrothread && m.uram.NeedsRebuild(termID) {
-			m.buildRoutine(rec, retC, termID, termScope, true)
+			m.buildRoutine(rec, retC, termID, m.tracker.Scope(rec.PC), true)
 		}
 	}
 }
@@ -693,7 +738,7 @@ func (m *Machine) buildRoutine(rec *emu.Record, retC uint64, id path.ID, scope i
 		return
 	}
 	m.builderFreeAt = retC + uint64(m.cfg.BuildLatency)
-	m.routineReady[id] = m.builderFreeAt
+	m.routineReady.set(id, m.builderFreeAt)
 	if rebuild {
 		m.res.Micro.Rebuilds++
 	} else {

@@ -1,6 +1,9 @@
 package cpu
 
 import (
+	"math/bits"
+	"slices"
+
 	"dpbp/internal/emu"
 	"dpbp/internal/isa"
 	"dpbp/internal/pcache"
@@ -25,10 +28,14 @@ type mctx struct {
 	spawnSeq  uint64
 	targetSeq uint64
 	expIdx    int
-	watch     map[isa.Addr]bool
-	issues    []issueRec
-	delivery  uint64
-	wrote     bool // a Prediction Cache entry was written for this spawn
+	// watch holds the routine's loaded addresses, sorted for binary
+	// search; its backing array is reused across spawns. Routines load a
+	// handful of words, so a flat sorted slice beats the per-spawn map it
+	// replaced on both lookup cost and allocation.
+	watch    []isa.Addr
+	issues   []issueRec
+	delivery uint64
+	wrote    bool // a Prediction Cache entry was written for this spawn
 }
 
 // trySpawns attempts to spawn every routine whose spawn point is the
@@ -36,6 +43,9 @@ type mctx struct {
 // fc). Spawns that cannot get a microcontext are dropped — the paper's
 // "aborted before allocating a microcontext" bucket.
 func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
+	if !m.uram.HasSpawn(pc) {
+		return // dense probe; skips the map lookup on the common path
+	}
 	cands := m.uram.SpawnCandidates(pc)
 	if len(cands) == 0 {
 		return
@@ -45,7 +55,7 @@ func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 		return
 	}
 	for _, r := range cands {
-		if m.routineReady[r.PathID] > fc {
+		if m.routineReady.get(r.PathID) > fc {
 			continue // still being built
 		}
 		m.res.Micro.AttemptedSpawns++
@@ -57,12 +67,12 @@ func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 			m.res.Micro.NoContextDrops++
 			continue
 		}
-		ctx := m.freeContext()
-		if ctx == nil {
+		ci := m.freeContext()
+		if ci < 0 {
 			m.res.Micro.NoContextDrops++
 			continue
 		}
-		m.spawn(ctx, r, seq, fc)
+		m.spawn(ci, r, seq, fc)
 	}
 }
 
@@ -84,36 +94,51 @@ func (m *Machine) prefixMatches(prefix []isa.Addr) bool {
 	return true
 }
 
-func (m *Machine) freeContext() *mctx {
-	for i := range m.ctxs {
-		if !m.ctxs[i].active {
-			return &m.ctxs[i]
+// freeContext returns the index of the lowest-numbered free microcontext,
+// or -1 when all are active.
+func (m *Machine) freeContext() int {
+	if m.activeCtxs == len(m.ctxs) {
+		return -1
+	}
+	for w, bw := range m.activeBits {
+		if bw != ^uint64(0) {
+			if i := w*64 + bits.TrailingZeros64(^bw); i < len(m.ctxs) {
+				return i
+			}
 		}
 	}
-	return nil
+	return -1
+}
+
+// activate and deactivate keep the active count and bitmask in sync with
+// ctxs[i].active; every transition goes through them.
+func (m *Machine) activate(i int) {
+	m.ctxs[i].active = true
+	m.activeCtxs++
+	m.activeBits[i>>6] |= 1 << (i & 63)
+}
+
+func (m *Machine) deactivate(i int) {
+	m.ctxs[i].active = false
+	m.activeCtxs--
+	m.activeBits[i>>6] &^= 1 << (i & 63)
 }
 
 // spawn allocates a microcontext, functionally executes the routine
 // against the primary thread's architectural state at the spawn point, and
 // schedules its instructions through the shared execution resources.
-func (m *Machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
+func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
+	ctx := &m.ctxs[ci]
 	m.res.Micro.Spawned++
 	m.windowSpawns++
 
 	// Functional execution against spawn-point state: the emulator has
 	// executed exactly the instructions before seq, which is the
 	// architectural state the paper's spawn-point selection guarantees.
-	env := &uthread.Env{
-		ReadReg: m.em.Reg,
-		LoadMem: m.em.Mem.Load,
-		PredictValue: func(pc isa.Addr, ahead int) (isa.Word, bool) {
-			return m.vp.Predict(pc, ahead)
-		},
-		PredictAddr: func(pc isa.Addr, ahead int) (isa.Word, bool) {
-			return m.ap.Predict(pc, ahead)
-		},
-	}
-	fr := uthread.Execute(r, env)
+	// The Env is the machine's shared one (built in Reset); Execute's
+	// LoadedEAs use its scratch buffer and are copied into the context's
+	// watch list below, before the next spawn can overwrite them.
+	fr := uthread.Execute(r, &m.uenv)
 	m.res.Micro.MicroInsts += uint64(fr.Executed)
 
 	// Timing: schedule the routine's instructions through the shared
@@ -171,21 +196,19 @@ func (m *Machine) spawn(ctx *mctx, r *uthread.Routine, seq, fc uint64) {
 		}
 	}
 
+	watch := append(ctx.watch[:0], fr.LoadedEAs...)
+	slices.Sort(watch)
+
 	targetSeq := seq + r.SeqDelta
 	*ctx = mctx{
-		active:    true,
 		r:         r,
 		spawnSeq:  seq,
 		targetSeq: targetSeq,
+		watch:     watch,
 		issues:    issues,
 		delivery:  complete,
 	}
-	if len(fr.LoadedEAs) > 0 {
-		ctx.watch = make(map[isa.Addr]bool, len(fr.LoadedEAs))
-		for _, ea := range fr.LoadedEAs {
-			ctx.watch[ea] = true
-		}
-	}
+	m.activate(ci)
 
 	if m.cfg.UsePredictions {
 		m.predCache.Write(pcache.Entry{
@@ -237,32 +260,36 @@ func (m *Machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 // instruction rec: memory-dependence violation detection, completion at
 // the target branch, and the Path_History abort check on taken branches.
 func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
-	for i := range m.ctxs {
-		ctx := &m.ctxs[i]
-		if !ctx.active || rec.Seq <= ctx.spawnSeq {
-			continue
-		}
-		if rec.Inst.IsStore() && ctx.watch[rec.EA] {
-			// The primary thread stored to an address the
-			// microthread read at spawn: the speculated memory
-			// state was stale. Rebuild the routine (Section 4.2.4);
-			// the stale prediction itself stays and simply risks
-			// being wrong.
-			m.res.Micro.MemDepViolations++
-			if m.cfg.RebuildOnViolation {
-				m.uram.MarkRebuild(ctx.r.PathID)
+	for w, bw := range m.activeBits {
+		for bw != 0 {
+			i := w*64 + bits.TrailingZeros64(bw)
+			bw &= bw - 1
+			ctx := &m.ctxs[i]
+			if rec.Seq <= ctx.spawnSeq {
+				continue
 			}
-		}
-		if rec.Seq >= ctx.targetSeq {
-			ctx.active = false
-			m.res.Micro.Completed++
-			continue
-		}
-		if m.cfg.AbortEnabled && rec.Inst.IsBranch() && rec.Taken {
-			if ctx.expIdx < len(ctx.r.ExpectedTakens) && ctx.r.ExpectedTakens[ctx.expIdx] == rec.PC {
-				ctx.expIdx++
-			} else {
-				m.abortContext(ctx, fc)
+			if rec.Inst.IsStore() && watchContains(ctx.watch, rec.EA) {
+				// The primary thread stored to an address the
+				// microthread read at spawn: the speculated memory
+				// state was stale. Rebuild the routine (Section 4.2.4);
+				// the stale prediction itself stays and simply risks
+				// being wrong.
+				m.res.Micro.MemDepViolations++
+				if m.cfg.RebuildOnViolation {
+					m.uram.MarkRebuild(ctx.r.PathID)
+				}
+			}
+			if rec.Seq >= ctx.targetSeq {
+				m.deactivate(i)
+				m.res.Micro.Completed++
+				continue
+			}
+			if m.cfg.AbortEnabled && rec.Inst.IsBranch() && rec.Taken {
+				if ctx.expIdx < len(ctx.r.ExpectedTakens) && ctx.r.ExpectedTakens[ctx.expIdx] == rec.PC {
+					ctx.expIdx++
+				} else {
+					m.abortContext(i, fc)
+				}
 			}
 		}
 	}
@@ -272,7 +299,8 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 // predicted path: unexecuted instructions are refunded from the resource
 // calendars (instructions already in the window cannot be aborted, per
 // Section 4.3.2), and an undelivered prediction is cancelled.
-func (m *Machine) abortContext(ctx *mctx, fc uint64) {
+func (m *Machine) abortContext(ci int, fc uint64) {
+	ctx := &m.ctxs[ci]
 	m.res.Micro.AbortedActive++
 	for _, ir := range ctx.issues {
 		if ir.cycle > fc {
@@ -285,5 +313,11 @@ func (m *Machine) abortContext(ctx *mctx, fc uint64) {
 	if ctx.wrote && ctx.delivery > fc {
 		m.predCache.Remove(ctx.r.PathID, ctx.targetSeq)
 	}
-	ctx.active = false
+	m.deactivate(ci)
+}
+
+// watchContains reports whether the sorted watch list holds ea.
+func watchContains(watch []isa.Addr, ea isa.Addr) bool {
+	_, ok := slices.BinarySearch(watch, ea)
+	return ok
 }

@@ -20,20 +20,40 @@ import (
 // pageBits sizes memory pages: 4096 words per page.
 const pageBits = 12
 
-// Memory is a sparse, paged word-addressed data memory.
+// Memory is a sparse, paged word-addressed data memory. Programs touch a
+// handful of pages (data segment plus stack), so pages live in a small
+// slice scanned linearly, fronted by a one-entry cache of the last page
+// hit; both beat a map's hashing on this access pattern.
 type Memory struct {
-	pages map[isa.Addr]*[1 << pageBits]isa.Word
+	pageAddrs []isa.Addr // page numbers, parallel to pages
+	pages     []*[1 << pageBits]isa.Word
+	lastAddr  isa.Addr // page number of the last page hit
+	lastPg    *[1 << pageBits]isa.Word
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[isa.Addr]*[1 << pageBits]isa.Word)}
+	return &Memory{}
+}
+
+// page returns the page with number pn, or nil if it was never written.
+func (m *Memory) page(pn isa.Addr) *[1 << pageBits]isa.Word {
+	if m.lastPg != nil && pn == m.lastAddr {
+		return m.lastPg
+	}
+	for i, a := range m.pageAddrs {
+		if a == pn {
+			m.lastAddr, m.lastPg = pn, m.pages[i]
+			return m.lastPg
+		}
+	}
+	return nil
 }
 
 // Load returns the word at addr (zero if never written).
 func (m *Memory) Load(addr isa.Addr) isa.Word {
-	pg, ok := m.pages[addr>>pageBits]
-	if !ok {
+	pg := m.page(addr >> pageBits)
+	if pg == nil {
 		return 0
 	}
 	return pg[addr&(1<<pageBits-1)]
@@ -41,10 +61,13 @@ func (m *Memory) Load(addr isa.Addr) isa.Word {
 
 // Store writes the word at addr.
 func (m *Memory) Store(addr isa.Addr, v isa.Word) {
-	pg, ok := m.pages[addr>>pageBits]
-	if !ok {
+	pn := addr >> pageBits
+	pg := m.page(pn)
+	if pg == nil {
 		pg = new([1 << pageBits]isa.Word)
-		m.pages[addr>>pageBits] = pg
+		m.pageAddrs = append(m.pageAddrs, pn)
+		m.pages = append(m.pages, pg)
+		m.lastAddr, m.lastPg = pn, pg
 	}
 	pg[addr&(1<<pageBits-1)] = v
 }
@@ -66,6 +89,11 @@ type Record struct {
 	// SrcVal holds the values of the source registers, in ReadsInto
 	// order.
 	SrcVal [2]isa.Word
+	// SrcReg holds the NSrc source register names, in ReadsInto order,
+	// so consumers need not re-derive them from Inst.
+	SrcReg [2]isa.Reg
+	// NSrc is the number of source registers the instruction reads.
+	NSrc uint8
 	// DstVal is the value written to the destination register, if any.
 	DstVal isa.Word
 	// EA is the effective address for loads and stores.
@@ -129,22 +157,23 @@ func (m *Machine) Step(rec *Record) bool {
 	if !m.Prog.Valid(m.pc) {
 		panic(fmt.Sprintf("emu: PC %d out of range in %q", m.pc, m.Prog.Name))
 	}
-	in := m.Prog.At(m.pc)
 
 	rec.Seq = m.seq
 	rec.PC = m.pc
-	rec.Inst = in
+	rec.Inst = m.Prog.Code[m.pc]
 	rec.Taken = false
 	rec.EA = 0
 	rec.DstVal = 0
 
-	var buf [2]isa.Reg
-	n := in.ReadsInto(&buf)
+	in := &rec.Inst
+	n := in.ReadsInto(&rec.SrcReg)
+	rec.NSrc = uint8(n)
 	for i := 0; i < n; i++ {
-		rec.SrcVal[i] = m.Reg(buf[i])
+		rec.SrcVal[i] = m.Reg(rec.SrcReg[i])
 	}
 	for i := n; i < 2; i++ {
 		rec.SrcVal[i] = 0
+		rec.SrcReg[i] = 0
 	}
 
 	next := m.pc + 1

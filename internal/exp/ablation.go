@@ -54,7 +54,7 @@ func Ablations(ctx context.Context, o Options) (*results.AblationResult, error) 
 	// baseline failed has no denominator and is skipped by every variant.
 	bases := make([]*cpu.Result, len(progs))
 	baseErrs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
-		b, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		b, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModeBaseline, false, false))
 		if err != nil {
 			return err
 		}
@@ -76,7 +76,7 @@ func Ablations(ctx context.Context, o Options) (*results.AblationResult, error) 
 			}
 			cfg := timingConfig(o, cpu.ModeMicrothread, true, true)
 			c.mut(&cfg)
-			r, err := timedRun(ctx, prog, cfg)
+			r, err := timedRun(ctx, o, prog, cfg)
 			if err != nil {
 				return err
 			}

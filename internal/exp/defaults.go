@@ -10,4 +10,7 @@ const (
 	defaultProfileInsts = 1_000_000
 )
 
-func defaultParallelism() int { return runtime.NumCPU() }
+// defaultParallelism honours GOMAXPROCS rather than raw NumCPU: the two
+// differ under CPU quotas (containers) and when the user caps the
+// runtime, and oversubscribing the scheduler just adds contention.
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }

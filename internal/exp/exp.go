@@ -19,6 +19,7 @@ import (
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
 	"dpbp/internal/results"
+	"dpbp/internal/runcache"
 	"dpbp/internal/sched"
 	"dpbp/internal/synth"
 )
@@ -31,12 +32,21 @@ type Options struct {
 	TimingInsts uint64
 	// ProfileInsts bounds each functional profiling run (default 1M).
 	ProfileInsts uint64
-	// Parallelism bounds concurrent benchmark runs (default NumCPU).
+	// Parallelism bounds concurrent benchmark runs (default GOMAXPROCS).
 	Parallelism int
 	// RunTimeout bounds each individual benchmark run; zero means no
 	// limit. A run that exceeds it is dropped from the result's rows and
 	// recorded in its Errors.
 	RunTimeout time.Duration
+	// Cache, when non-nil, memoizes timing runs, profiling runs, and
+	// generated benchmark programs by content-addressed key (program
+	// fingerprint plus canonicalized configuration). Because the
+	// simulator is bit-deterministic, a cached result is identical to a
+	// fresh one; sharing one Cache across experiments makes each unique
+	// run compute exactly once (e.g. the figure sweeps re-request the
+	// same baseline runs). Cached values are shared and must be treated
+	// as immutable, which every consumer in this package honours.
+	Cache *runcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +66,9 @@ func (o Options) withDefaults() Options {
 }
 
 // programs generates the selected benchmarks, failing fast on bad names.
+// With a cache, generation is memoized by name (the generator is
+// deterministic) and the block structure and fingerprint are precomputed,
+// so the shared Program is immutable from then on.
 func (o Options) programs() ([]*program.Program, error) {
 	progs := make([]*program.Program, len(o.Benchmarks))
 	for i, name := range o.Benchmarks {
@@ -63,7 +76,21 @@ func (o Options) programs() ([]*program.Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		progs[i] = synth.Generate(p)
+		if o.Cache == nil {
+			progs[i] = synth.Generate(p)
+			continue
+		}
+		v, err := o.Cache.Do(context.Background(), runcache.KeyOf("program", name),
+			func() (any, error) {
+				g := synth.Generate(p)
+				g.Blocks()      // precompute: lazy init would race across sweeps
+				g.Fingerprint() // ditto
+				return g, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = v.(*program.Program)
 	}
 	return progs, nil
 }
@@ -81,8 +108,25 @@ var testHookBeforeRun func(bench string)
 // cpu.Pool. BenchmarkAblationSweepAllocs measures what this saves.
 var machines cpu.Pool
 
-// timedRun executes one cancellable timing run on a pooled machine.
-func timedRun(ctx context.Context, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {
+// timedRun executes one cancellable timing run on a pooled machine,
+// memoized through o.Cache when one is set. A config carrying an OnBuild
+// hook is observable (the hook sees every built routine) and has no
+// canonical encoding, so it always runs fresh.
+func timedRun(ctx context.Context, o Options, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {
+	if o.Cache == nil || cfg.OnBuild != nil {
+		return timedRunFresh(ctx, prog, cfg)
+	}
+	key := runcache.KeyOf("cpu", prog.Fingerprint(), cfg.Canonical())
+	v, err := o.Cache.Do(ctx, key, func() (any, error) {
+		return timedRunFresh(ctx, prog, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*cpu.Result), nil
+}
+
+func timedRunFresh(ctx context.Context, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {
 	m := machines.Get()
 	r, err := m.RunContext(ctx, prog, cfg)
 	machines.Put(m)
@@ -90,6 +134,22 @@ func timedRun(ctx context.Context, prog *program.Program, cfg cpu.Config) (*cpu.
 		return nil, err
 	}
 	return r, nil
+}
+
+// profileRun executes one functional profiling run, memoized through
+// o.Cache when one is set.
+func profileRun(ctx context.Context, o Options, prog *program.Program, cfg pathprof.Config) (*pathprof.Profile, error) {
+	if o.Cache == nil {
+		return pathprof.Run(prog, cfg), nil
+	}
+	key := runcache.KeyOf("pathprof", prog.Fingerprint(), cfg.Canonical())
+	v, err := o.Cache.Do(ctx, key, func() (any, error) {
+		return pathprof.Run(prog, cfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pathprof.Profile), nil
 }
 
 // sweep runs body for every program via the scheduler and returns one

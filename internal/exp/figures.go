@@ -20,7 +20,7 @@ func Figure6(ctx context.Context, o Options) (*results.Figure6Result, error) {
 	}
 	rows := make([]results.Figure6Row, len(progs))
 	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
-		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		base, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModeBaseline, false, false))
 		if err != nil {
 			return err
 		}
@@ -32,7 +32,7 @@ func Figure6(ctx context.Context, o Options) (*results.Figure6Result, error) {
 		for _, n := range PathLengths {
 			cfg := timingConfig(o, cpu.ModePerfectPromoted, false, false)
 			cfg.N = n
-			pot, err := timedRun(ctx, prog, cfg)
+			pot, err := timedRun(ctx, o, prog, cfg)
 			if err != nil {
 				return err
 			}
@@ -83,7 +83,7 @@ func RunFigure7Set(ctx context.Context, o Options) ([]results.Figure7Runs, []res
 			{&r.Prune, cpu.ModeMicrothread, true, true},
 			{&r.Overhead, cpu.ModeMicrothread, false, false},
 		} {
-			res, err := timedRun(ctx, prog, timingConfig(o, s.mode, s.pruning, s.preds))
+			res, err := timedRun(ctx, o, prog, timingConfig(o, s.mode, s.pruning, s.preds))
 			if err != nil {
 				return err
 			}
@@ -146,11 +146,11 @@ func Perfect(ctx context.Context, o Options) (*results.PerfectResult, error) {
 	}
 	rows := make([]results.PerfectRow, len(progs))
 	errs := sweep(ctx, o, progs, func(ctx context.Context, i int, prog *program.Program) error {
-		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		base, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModeBaseline, false, false))
 		if err != nil {
 			return err
 		}
-		perf, err := timedRun(ctx, prog, timingConfig(o, cpu.ModePerfectAll, false, false))
+		perf, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModePerfectAll, false, false))
 		if err != nil {
 			return err
 		}

@@ -28,20 +28,23 @@ func ProfileGuided(ctx context.Context, o Options) (*results.ProfileGuidedResult
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		prof := pathprof.Run(prog, pathprof.Config{Ns: []int{10}, MaxInsts: o.ProfileInsts})
-		ids := prof.DifficultPathIDs(10, 0.10, 8<<10)
-
-		base, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		prof, err := profileRun(ctx, o, prog, pathprof.Config{Ns: []int{10}, MaxInsts: o.ProfileInsts})
 		if err != nil {
 			return err
 		}
-		dyn, err := timedRun(ctx, prog, timingConfig(o, cpu.ModeMicrothread, true, true))
+		ids := prof.DifficultPathIDs(10, 0.10, 8<<10)
+
+		base, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModeBaseline, false, false))
+		if err != nil {
+			return err
+		}
+		dyn, err := timedRun(ctx, o, prog, timingConfig(o, cpu.ModeMicrothread, true, true))
 		if err != nil {
 			return err
 		}
 		gcfg := timingConfig(o, cpu.ModeMicrothread, true, true)
 		gcfg.PrePromoted = ids
-		guided, err := timedRun(ctx, prog, gcfg)
+		guided, err := timedRun(ctx, o, prog, gcfg)
 		if err != nil {
 			return err
 		}

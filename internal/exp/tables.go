@@ -61,7 +61,10 @@ func Table1(ctx context.Context, o Options) (*results.Table1Result, error) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		p := pathprof.Run(prog, profileConfig(o))
+		p, err := profileRun(ctx, o, prog, profileConfig(o))
+		if err != nil {
+			return err
+		}
 		rows[i] = results.Table1Row{Bench: prog.Name, ByN: table1Cells(p.Table1(Thresholds))}
 		return nil
 	})
@@ -104,7 +107,10 @@ func Table2(ctx context.Context, o Options) (*results.Table2Result, error) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		p := pathprof.Run(prog, profileConfig(o))
+		p, err := profileRun(ctx, o, prog, profileConfig(o))
+		if err != nil {
+			return err
+		}
 		rows[i] = results.Table2Row{Bench: prog.Name, ByT: table2Blocks(p.Table2(Thresholds))}
 		return nil
 	})

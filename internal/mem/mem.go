@@ -74,8 +74,11 @@ type System struct {
 	SBForwards uint64
 }
 
-// New builds a memory system from cfg (zero fields defaulted).
-func New(cfg Config) *System {
+// Canonical returns the configuration with every zero field replaced by
+// its Table 3 default — exactly the configuration New builds. Run caching
+// keys on the canonical form so spelled-out and defaulted configurations
+// that mean the same hierarchy share an entry.
+func (cfg Config) Canonical() Config {
 	d := DefaultConfig()
 	if cfg.L1SizeWords == 0 {
 		cfg.L1SizeWords = d.L1SizeWords
@@ -113,6 +116,12 @@ func New(cfg Config) *System {
 	if cfg.StoreDrainCycles == 0 {
 		cfg.StoreDrainCycles = d.StoreDrainCycles
 	}
+	return cfg
+}
+
+// New builds a memory system from cfg (zero fields defaulted).
+func New(cfg Config) *System {
+	cfg = cfg.Canonical()
 	return &System{
 		cfg:      cfg,
 		L1:       cache.New(cache.Config{SizeWords: cfg.L1SizeWords, Ways: cfg.L1Ways, LineWords: cfg.LineWords}),

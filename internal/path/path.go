@@ -5,7 +5,11 @@
 // time the path is taken.
 package path
 
-import "dpbp/internal/isa"
+import (
+	"math/bits"
+
+	"dpbp/internal/isa"
+)
 
 // ID is a Path_Id: the shift-XOR hash of the addresses of the n taken
 // branches prior to a terminating branch, combined with the terminating
@@ -32,9 +36,13 @@ type TakenBranch struct {
 // pathologically. The mix restores the aliasing behaviour the paper's
 // hash had on real address spaces.
 func hashStep(h uint64, a isa.Addr) uint64 {
+	return ((h << 3) | (h >> 61)) ^ mix(a)
+}
+
+// mix pre-conditions one address for the XOR combiner.
+func mix(a isa.Addr) uint64 {
 	x := uint64(a) * 0x9E3779B97F4A7C15
-	x ^= x >> 29
-	return ((h << 3) | (h >> 61)) ^ x
+	return x ^ x>>29
 }
 
 // Hash computes the Path_Id for a terminating branch at term reached via
@@ -58,6 +66,13 @@ type Tracker struct {
 	ring []TakenBranch
 	head int // index of oldest entry
 	cnt  int
+
+	// h is the rolling hash of the current window, maintained
+	// incrementally by Observe so ID is O(1) instead of O(n). hashStep is
+	// linear over GF(2) — fold(x1..xk) = XOR of rotl(mix(xi), 3*(k-i)) —
+	// so evicting the oldest entry is XORing out rotl(mix(x1), rotN).
+	h    uint64
+	rotN int // 3*n mod 64: total rotation an entry accrues over n steps
 }
 
 // NewTracker returns a tracker for paths of length n.
@@ -65,7 +80,7 @@ func NewTracker(n int) *Tracker {
 	if n < 1 {
 		panic("path: tracker length must be >= 1")
 	}
-	return &Tracker{n: n, ring: make([]TakenBranch, n)}
+	return &Tracker{n: n, ring: make([]TakenBranch, n), rotN: 3 * n % 64}
 }
 
 // N returns the tracker's path length.
@@ -74,10 +89,12 @@ func (t *Tracker) N() int { return t.n }
 // Observe pushes a taken control transfer into the history.
 func (t *Tracker) Observe(b TakenBranch) {
 	if t.cnt < t.n {
+		t.h = hashStep(t.h, b.PC)
 		t.ring[(t.head+t.cnt)%t.n] = b
 		t.cnt++
 		return
 	}
+	t.h = hashStep(t.h, b.PC) ^ bits.RotateLeft64(mix(t.ring[t.head].PC), t.rotN)
 	t.ring[t.head] = b
 	t.head = (t.head + 1) % t.n
 }
@@ -99,11 +116,7 @@ func (t *Tracker) Branches() []TakenBranch {
 // ID returns the Path_Id for a terminating branch at term given the
 // current history.
 func (t *Tracker) ID(term isa.Addr) ID {
-	var h uint64
-	for i := 0; i < t.cnt; i++ {
-		h = hashStep(h, t.ring[(t.head+i)%t.n].PC)
-	}
-	return ID(hashStep(h, term))
+	return ID(hashStep(t.h, term))
 }
 
 // Scope returns the scope size in instructions for a terminating branch at
@@ -153,4 +166,5 @@ func (h *History) Value() uint64 { return h.h }
 func (t *Tracker) Reset() {
 	t.head = 0
 	t.cnt = 0
+	t.h = 0
 }

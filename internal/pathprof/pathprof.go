@@ -71,18 +71,27 @@ func DefaultConfig() Config {
 	return Config{Ns: []int{4, 10, 16}, MaxInsts: 2_000_000, Predictor: bpred.DefaultConfig()}
 }
 
+// Canonical returns the configuration with every zero field replaced by
+// its default — the configuration Run actually uses. Configs that
+// canonicalize equal produce identical profiles, so Canonical is the
+// content-addressed cache key input for profiling runs.
+func (c Config) Canonical() Config {
+	d := DefaultConfig()
+	if len(c.Ns) == 0 {
+		c.Ns = d.Ns
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = d.MaxInsts
+	}
+	if c.Predictor.PHTEntries == 0 {
+		c.Predictor = d.Predictor
+	}
+	return c
+}
+
 // Run profiles prog under cfg.
 func Run(prog *program.Program, cfg Config) *Profile {
-	d := DefaultConfig()
-	if len(cfg.Ns) == 0 {
-		cfg.Ns = d.Ns
-	}
-	if cfg.MaxInsts == 0 {
-		cfg.MaxInsts = d.MaxInsts
-	}
-	if cfg.Predictor.PHTEntries == 0 {
-		cfg.Predictor = d.Predictor
-	}
+	cfg = cfg.Canonical()
 
 	p := &Profile{
 		Benchmark: prog.Name,

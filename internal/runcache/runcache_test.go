@@ -1,0 +1,226 @@
+package runcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/pathprof"
+)
+
+// TestSingleFlight launches many goroutines at the same key and asserts
+// the computation ran exactly once, everyone saw its value, and the
+// counters account for every request.
+func TestSingleFlight(t *testing.T) {
+	const goroutines = 32
+	c := New()
+	key := KeyOf("test", "single-flight")
+	var computes int
+	var mu sync.Mutex
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.Do(context.Background(), key, func() (any, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("computation ran %d times, want exactly 1", computes)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Fatalf("goroutine %d got %v, want \"value\"", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Computes != 1 {
+		t.Errorf("Stats.Computes = %d, want 1", st.Computes)
+	}
+	if st.Lookups != goroutines {
+		t.Errorf("Stats.Lookups = %d, want %d", st.Lookups, goroutines)
+	}
+	if st.Hits+st.Waits+st.Computes != goroutines {
+		t.Errorf("Hits(%d)+Waits(%d)+Computes(%d) != Lookups(%d)",
+			st.Hits, st.Waits, st.Computes, goroutines)
+	}
+}
+
+// TestErrorNotCached asserts a failed computation is forgotten: the next
+// Do at the same key computes again and can succeed.
+func TestErrorNotCached(t *testing.T) {
+	c := New()
+	key := KeyOf("test", "error-retry")
+	boom := errors.New("boom")
+
+	if _, err := c.Do(context.Background(), key, func() (any, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("first Do: err = %v, want %v", err, boom)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry cached: Len = %d, want 0", c.Len())
+	}
+	v, err := c.Do(context.Background(), key, func() (any, error) {
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("retry Do = (%v, %v), want (42, nil)", v, err)
+	}
+	if st := c.Stats(); st.Errors != 1 || st.Computes != 2 {
+		t.Errorf("Stats = %+v, want Errors 1, Computes 2", st)
+	}
+}
+
+// TestPanicReleasesWaiters asserts a panicking leader doesn't poison the
+// key: the panic propagates to the leader, and a later Do recomputes.
+func TestPanicReleasesWaiters(t *testing.T) {
+	c := New()
+	key := KeyOf("test", "panic")
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leader's panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), key, func() (any, error) { //nolint:errcheck
+			panic("kaboom")
+		})
+	}()
+
+	v, err := c.Do(context.Background(), key, func() (any, error) {
+		return "recovered", nil
+	})
+	if err != nil || v != "recovered" {
+		t.Fatalf("Do after panic = (%v, %v), want (recovered, nil)", v, err)
+	}
+}
+
+// TestContextCancelled asserts a waiter gives up when its context is
+// cancelled while the leader is still computing.
+func TestContextCancelled(t *testing.T) {
+	c := New()
+	key := KeyOf("test", "cancel")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		c.Do(context.Background(), key, func() (any, error) { //nolint:errcheck
+			close(leaderIn)
+			<-release
+			return "slow", nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, key, func() (any, error) {
+		return "never", nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// TestKeyOfCPUConfigCanonical asserts two cpu.Configs that mean the same
+// machine — one fully spelled out, one relying on defaulting — produce
+// the same key after Canonical, and that changing any knob changes it.
+func TestKeyOfCPUConfigCanonical(t *testing.T) {
+	full := cpu.DefaultConfig()
+	var sparse cpu.Config
+	sparse.Mode = full.Mode
+	sparse.Pruning = full.Pruning
+	sparse.UsePredictions = full.UsePredictions
+	sparse.AbortEnabled = full.AbortEnabled
+	sparse.RebuildOnViolation = full.RebuildOnViolation
+
+	kFull := KeyOf("cpu", full.Canonical())
+	kSparse := KeyOf("cpu", sparse.Canonical())
+	if kFull != kSparse {
+		t.Fatalf("defaulted and spelled-out configs disagree:\n  %s\n  %s", kFull, kSparse)
+	}
+
+	mutations := map[string]func(*cpu.Config){
+		"MaxInsts":       func(c *cpu.Config) { c.MaxInsts = 12345 },
+		"Mode":           func(c *cpu.Config) { c.Mode = cpu.ModePerfectAll },
+		"Pruning":        func(c *cpu.Config) { c.Pruning = !c.Pruning },
+		"PCacheEntries":  func(c *cpu.Config) { c.PCacheEntries += 1 },
+		"WindowSize":     func(c *cpu.Config) { c.WindowSize *= 2 },
+		"VPred.Entries":  func(c *cpu.Config) { c.VPred.Entries *= 2 },
+		"PrePromoted":    func(c *cpu.Config) { c.PrePromoted = []uint64{7} },
+		"UsePredictions": func(c *cpu.Config) { c.UsePredictions = !c.UsePredictions },
+	}
+	for name, mutate := range mutations {
+		cfg := cpu.DefaultConfig()
+		mutate(&cfg)
+		if KeyOf("cpu", cfg.Canonical()) == kFull {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+// TestKeyOfPathprofConfigCanonical does the same for profiling configs.
+func TestKeyOfPathprofConfigCanonical(t *testing.T) {
+	full := pathprof.DefaultConfig()
+	var sparse pathprof.Config
+	k1 := KeyOf("pathprof", full.Canonical())
+	k2 := KeyOf("pathprof", sparse.Canonical())
+	if k1 != k2 {
+		t.Fatalf("defaulted and zero profiling configs disagree:\n  %s\n  %s", k1, k2)
+	}
+
+	cfg := pathprof.DefaultConfig()
+	cfg.MaxInsts = 777
+	if KeyOf("pathprof", cfg.Canonical()) == k1 {
+		t.Error("changing MaxInsts did not change the key")
+	}
+	cfg = pathprof.DefaultConfig()
+	cfg.Ns = append([]int{}, cfg.Ns...)
+	cfg.Ns[0]++
+	if KeyOf("pathprof", cfg.Canonical()) == k1 {
+		t.Error("changing Ns did not change the key")
+	}
+}
+
+// TestKeyOfNilVsEmptySlice asserts the encoder does not distinguish a nil
+// slice from an empty one: both mean "no elements".
+func TestKeyOfNilVsEmptySlice(t *testing.T) {
+	type s struct{ Xs []int }
+	if KeyOf("d", s{Xs: nil}) != KeyOf("d", s{Xs: []int{}}) {
+		t.Error("nil and empty slices produced different keys")
+	}
+	if KeyOf("d", s{Xs: nil}) == KeyOf("d", s{Xs: []int{0}}) {
+		t.Error("nil and one-element slices produced the same key")
+	}
+}
+
+// TestKeyOfDomainSeparation asserts equal payloads under different
+// domains don't collide, and that part boundaries matter.
+func TestKeyOfDomainSeparation(t *testing.T) {
+	if KeyOf("a", 1) == KeyOf("b", 1) {
+		t.Error("different domains produced the same key")
+	}
+	if KeyOf("d", "ab", "c") == KeyOf("d", "a", "bc") {
+		t.Error("different part boundaries produced the same key")
+	}
+}

@@ -557,9 +557,13 @@ func (g *gen) emitChase() {
 	}
 	// Build a random permutation cycle.
 	perm := g.rng.Perm(nodes)
+	inv := make([]int, nodes) // inv[v] = position of v in perm
+	for i, v := range perm {
+		inv[v] = i
+	}
 	base := g.allocData(nodes*2, func(int) isa.Word { return 0 })
 	for i := 0; i < nodes; i++ {
-		next := perm[(indexOf(perm, i)+1)%nodes]
+		next := perm[(inv[i]+1)%nodes]
 		g.data[int(base-DataBase)+2*i] = isa.Word(base) + isa.Word(2*next)
 		g.data[int(base-DataBase)+2*i+1] = g.randomWord()
 	}
@@ -715,13 +719,4 @@ func pow2Below(n int) int {
 		p *= 2
 	}
 	return p
-}
-
-func indexOf(s []int, v int) int {
-	for i, x := range s {
-		if x == v {
-			return i
-		}
-	}
-	return -1
 }

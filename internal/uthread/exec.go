@@ -22,6 +22,12 @@ type Env struct {
 	PredictValue func(pc isa.Addr, ahead int) (isa.Word, bool)
 	// PredictAddr serves Ap_Inst analogously for base-register values.
 	PredictAddr func(pc isa.Addr, ahead int) (isa.Word, bool)
+
+	// eaScratch backs Result.LoadedEAs so repeated Execute calls with the
+	// same Env do not allocate. A Result's LoadedEAs is therefore only
+	// valid until the next Execute with that Env; callers that keep the
+	// addresses copy them out first.
+	eaScratch []isa.Addr
 }
 
 // Result is the functional outcome of executing a routine.
@@ -43,13 +49,11 @@ type Result struct {
 // is. It panics on malformed routines (builder bugs), never on data.
 func Execute(r *Routine, env *Env) Result {
 	var regs [MicroRegs]isa.Word
-	loaded := make(map[isa.Reg]bool, len(r.LiveIns))
 	for _, li := range r.LiveIns {
 		regs[li] = env.ReadReg(li)
-		loaded[li] = true
 	}
 
-	res := Result{}
+	res := Result{LoadedEAs: env.eaScratch[:0]}
 	read := func(reg isa.Reg) isa.Word {
 		if reg == isa.RZero {
 			return 0
@@ -89,6 +93,7 @@ func Execute(r *Routine, env *Env) Result {
 					res.Target = r.BranchPC + 1
 				}
 			}
+			env.eaScratch = res.LoadedEAs
 			return res
 
 		default:

@@ -99,6 +99,15 @@ func (p *Predictor) Train(pc isa.Addr, value isa.Word, seq uint64) {
 	e.trainedSeq = seq
 }
 
+// TrainConfident trains on a retired value and reports whether the entry
+// is confident afterwards. It is exactly Train followed by Confident with
+// a single table access; the retirement loop calls it per instruction.
+func (p *Predictor) TrainConfident(pc isa.Addr, value isa.Word, seq uint64) bool {
+	p.Train(pc, value, seq)
+	e := p.at(pc)
+	return e.valid && e.tag == pc && e.conf >= p.cfg.ConfThreshold
+}
+
 // Confident reports whether the instruction at pc currently has a
 // confident (prunable) prediction.
 func (p *Predictor) Confident(pc isa.Addr) bool {
