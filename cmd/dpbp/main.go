@@ -14,6 +14,8 @@
 //	-par N                deprecated alias for -j
 //	-timeout D            whole-invocation time budget (e.g. 90s; 0 = none)
 //	-nocache              recompute every run instead of memoizing
+//	-trace FILE           write a Chrome trace-event JSON of every timing run
+//	-metrics              append a metrics section (unified counters/histograms)
 //	-cpuprofile FILE      write a CPU profile of the whole invocation
 //	-memprofile FILE      write a heap profile at exit
 //
@@ -29,6 +31,13 @@
 // Tables 1 and 2 share one profile) compute each unique run exactly
 // once. Results are bit-identical either way; -nocache exists for
 // timing comparisons.
+//
+// -trace attaches a lifecycle tracer to every timing run and writes one
+// Chrome trace-event JSON document (loadable in Perfetto or
+// chrome://tracing) with timestamps in fetch cycles; traced runs bypass
+// the cache so the events are always replayed. -metrics appends a
+// "metrics" section — the scattered statistics structs unified into one
+// named counter/histogram registry — rendered in whatever -format says.
 package main
 
 import (
@@ -56,18 +65,33 @@ func main() {
 	par := flag.Int("par", 0, "deprecated alias for -j")
 	timeout := flag.Duration("timeout", 0, "whole-invocation time budget; expired sweeps emit partial results (0 = none)")
 	noCache := flag.Bool("nocache", false, "recompute every run instead of memoizing shared ones")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of every timing run to this file")
+	metrics := flag.Bool("metrics", false, "append a metrics section (unified counters and histograms)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	os.Exit(mainExit(*expName, *bench, *format, *insts, *profInsts, *jobs, *par,
-		*timeout, *noCache, *cpuProfile, *memProfile))
+		*timeout, *noCache, obsOpts{traceFile: *traceFile, metrics: *metrics},
+		*cpuProfile, *memProfile))
 }
+
+// obsOpts bundles the observability flags.
+type obsOpts struct {
+	// traceFile, when non-empty, is where the Chrome trace-event JSON of
+	// every timing run is written.
+	traceFile string
+	// metrics appends a "metrics" section to the rendered output.
+	metrics bool
+}
+
+// enabled reports whether any observability output was requested.
+func (o obsOpts) enabled() bool { return o.traceFile != "" || o.metrics }
 
 // mainExit is main minus os.Exit, so profile writers run via defer before
 // the process terminates.
 func mainExit(expName, bench, format string, insts, profInsts uint64, jobs, par int,
-	timeout time.Duration, noCache bool, cpuProfile, memProfile string) int {
+	timeout time.Duration, noCache bool, oo obsOpts, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -122,7 +146,7 @@ func mainExit(expName, bench, format string, insts, profInsts uint64, jobs, par 
 		opts.Cache = dpbp.NewRunCache()
 	}
 
-	if err := run(ctx, os.Stdout, expName, format, opts); err != nil {
+	if err := runObs(ctx, os.Stdout, expName, format, opts, oo); err != nil {
 		fmt.Fprintln(os.Stderr, "dpbp:", err)
 		return 1
 	}
@@ -153,14 +177,83 @@ type section struct {
 // run executes the named experiment(s) and renders them to w. It is the
 // whole CLI behind flag parsing, so tests can drive it directly.
 func run(ctx context.Context, w io.Writer, name, format string, opts dpbp.ExperimentOptions) error {
+	return runObs(ctx, w, name, format, opts, obsOpts{})
+}
+
+// runObs is run plus the observability outputs: with tracing or metrics
+// requested a collector is attached to every timing run, a metrics
+// section is appended after the experiment sections, and the collected
+// trace is written as its own file (the rendered output is unchanged by
+// -trace alone).
+func runObs(ctx context.Context, w io.Writer, name, format string, opts dpbp.ExperimentOptions, oo obsOpts) error {
 	if err := checkFormat(format); err != nil {
 		return err
+	}
+	if oo.enabled() && opts.Trace == nil {
+		opts.Trace = dpbp.NewTraceCollector()
 	}
 	sections, err := collect(ctx, name, opts)
 	if err != nil {
 		return err
 	}
-	return render(w, format, sections)
+	if oo.metrics {
+		sections = append(sections, section{"metrics", buildMetrics(sections, opts)})
+	}
+	if err := render(w, format, sections); err != nil {
+		return err
+	}
+	if oo.traceFile != "" {
+		f, err := os.Create(oo.traceFile)
+		if err != nil {
+			return err
+		}
+		if err := dpbp.WriteChromeTrace(f, opts.Trace); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// buildMetrics unifies the experiment's statistics into one registry:
+// per-variant sums of the timing-run statistics (from the Figure 7 run
+// sets, which carry complete cpu.Results), run-cache traffic, and —
+// when tracing — the per-kind event counts and delivery-slack
+// histograms, whose totals reconcile exactly with the summed statistics.
+func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.MetricsRegistry {
+	reg := dpbp.NewMetricsRegistry()
+	addRun := func(prefix string, r *dpbp.Result) {
+		if r == nil {
+			return
+		}
+		reg.Add(prefix+".insts", r.Insts)
+		reg.Add(prefix+".cycles", r.Cycles)
+		reg.Add(prefix+".branches", r.Branches)
+		reg.Add(prefix+".hw_mispredicts", r.HWMispredicts)
+		reg.Add(prefix+".mispredicts", r.Mispredicts)
+		reg.AddStruct(prefix+".micro", r.Micro)
+		reg.AddStruct(prefix+".pathcache", r.PathCache)
+		reg.AddStruct(prefix+".pcache", r.PCache)
+		reg.AddStruct(prefix+".build", r.Build)
+	}
+	for _, s := range sections {
+		if f7, ok := s.val.(*dpbp.Figure7Result); ok {
+			for _, r := range f7.Runs {
+				addRun("fig7.base", r.Base)
+				addRun("fig7.no_prune", r.NoPrune)
+				addRun("fig7.prune", r.Prune)
+				addRun("fig7.overhead", r.Overhead)
+			}
+		}
+	}
+	if opts.Cache != nil {
+		reg.AddStruct("runcache", opts.Cache.Stats())
+	}
+	if opts.Trace != nil {
+		opts.Trace.AddTo(reg)
+	}
+	return reg
 }
 
 // checkFormat rejects unknown formats before any experiment runs.

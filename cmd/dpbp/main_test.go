@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -135,4 +136,100 @@ func TestRunAllText(t *testing.T) {
 			t.Errorf("all-text output missing %q", want)
 		}
 	}
+}
+
+func TestRunObsTraceWritesChromeJSON(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	var b bytes.Buffer
+	err := runObs(context.Background(), &b, "fig7", "", tiny(), obsOpts{traceFile: path})
+	if err != nil {
+		t.Fatalf("runObs(-trace) = %v", err)
+	}
+	// The rendered report itself is unchanged by -trace alone.
+	var plain bytes.Buffer
+	if err := run(context.Background(), &plain, "fig7", "", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != plain.String() {
+		t.Error("-trace changed the rendered report")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	// The four fig7 variants each appear as a named process.
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"comp/baseline", "comp/microthread",
+		"comp/microthread+prune", "comp/microthread+overhead-only"} {
+		if !names[want] {
+			t.Errorf("trace missing run %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestRunObsMetricsSection(t *testing.T) {
+	var b bytes.Buffer
+	err := runObs(context.Background(), &b, "fig7", "json", tiny(), obsOpts{metrics: true})
+	if err != nil {
+		t.Fatalf("runObs(-metrics) = %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["metrics"]; !ok {
+		t.Fatalf("no metrics section in keys %v", keysOf(doc))
+	}
+	var m struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(doc["metrics"], &m); err != nil {
+		t.Fatal(err)
+	}
+	// Reconciliation across layers: the traced spawn count equals the
+	// summed per-run statistic for the two spawning variants.
+	spawns := m.Counters["fig7.no_prune.micro.spawned"] +
+		m.Counters["fig7.prune.micro.spawned"] +
+		m.Counters["fig7.overhead.micro.spawned"]
+	if got := m.Counters["trace.spawn"]; got != spawns {
+		t.Errorf("trace.spawn = %d, summed stats = %d", got, spawns)
+	}
+	if m.Counters["fig7.prune.insts"] == 0 {
+		t.Error("metrics missing run statistics")
+	}
+}
+
+func TestRunObsMetricsText(t *testing.T) {
+	var b bytes.Buffer
+	err := runObs(context.Background(), &b, "fig7", "", tiny(), obsOpts{metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Metrics") || !strings.Contains(out, "trace.spawn") {
+		t.Errorf("text metrics section missing:\n%s", out)
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dpbp/internal/exp"
+	"dpbp/internal/obs"
 	"dpbp/internal/report"
 	"dpbp/internal/results"
 	"dpbp/internal/runcache"
@@ -29,6 +30,35 @@ type RunCacheStats = runcache.Stats
 
 // NewRunCache returns an empty run cache.
 func NewRunCache() *RunCache { return runcache.New() }
+
+// Tracer records one timing run's microthread lifecycle events and
+// occupancy samples; assign one to MachineConfig.Obs. A nil tracer
+// disables tracing at zero cost, and tracing never perturbs results.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled tracer with default limits.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// TraceCollector aggregates the tracers of a multi-run sweep; assign one
+// to ExperimentOptions.Trace to trace every timing run of an experiment,
+// then export with WriteChromeTrace.
+type TraceCollector = obs.Collector
+
+// NewTraceCollector returns an empty trace collector.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// MetricsRegistry is an ordered, JSON-serializable counter/histogram
+// view unifying the simulator's statistics structs; see
+// MetricsRegistry.AddStruct and Tracer.AddTo.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace writes every run collected by c as one Chrome
+// trace-event JSON document (loadable in Perfetto or chrome://tracing),
+// with event timestamps in fetch cycles.
+func WriteChromeTrace(w io.Writer, c *TraceCollector) error { return c.WriteChromeTrace(w) }
 
 // RunError records one benchmark run that failed to complete (panic,
 // cancellation, per-run timeout). Results carrying a non-empty Errors

@@ -25,6 +25,7 @@ package cpu
 import (
 	"dpbp/internal/bpred"
 	"dpbp/internal/mem"
+	"dpbp/internal/obs"
 	"dpbp/internal/pathcache"
 	"dpbp/internal/uthread"
 	"dpbp/internal/vpred"
@@ -171,6 +172,13 @@ type Config struct {
 	// Builder constructs (including rebuilds). It is an observation
 	// hook for tooling; mutating the routine is not allowed.
 	OnBuild func(*uthread.Routine)
+
+	// Obs, if set, receives structured lifecycle events and occupancy
+	// samples from the run (see internal/obs). A nil tracer disables
+	// tracing with no hot-path cost beyond a pointer compare; the
+	// simulation never reads the tracer, so enabling it cannot change
+	// results.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the Table 3 machine running the full microthread

@@ -263,9 +263,13 @@ func TestStatsFractions(t *testing.T) {
 		t.Error("zero stats should give zero fractions")
 	}
 	ms.AttemptedSpawns = 100
-	ms.NoContextDrops = 67
+	ms.PrefixMismatchDrops = 60
+	ms.NoContextDrops = 7
 	ms.Spawned = 33
 	ms.AbortedActive = 22
+	if ms.PreAllocationDrops() != 67 {
+		t.Errorf("PreAllocationDrops = %d", ms.PreAllocationDrops())
+	}
 	if ms.AbortPreFraction() != 0.67 {
 		t.Errorf("AbortPreFraction = %f", ms.AbortPreFraction())
 	}

@@ -8,6 +8,7 @@ import (
 	"dpbp/internal/emu"
 	"dpbp/internal/isa"
 	"dpbp/internal/mem"
+	"dpbp/internal/obs"
 	"dpbp/internal/path"
 	"dpbp/internal/pathcache"
 	"dpbp/internal/pcache"
@@ -94,6 +95,11 @@ type Machine struct {
 	// compares routine prefixes against its suffix.
 	takenRing [takenRingSize]isa.Addr
 	takenCnt  uint64
+
+	// obs is the run's lifecycle tracer (nil when tracing is off). Every
+	// emit site guards with a nil check on the concrete pointer, so the
+	// disabled path costs one compare and the simulation never reads it.
+	obs *obs.Tracer
 
 	res Result
 }
@@ -255,6 +261,11 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	m.lastRet = 0
 	m.retCount = 0
 
+	// Tracing: the Path Cache shares the machine's tracer so its events
+	// carry fetch-cycle timestamps (via SetNow in execute).
+	m.obs = cfg.Obs
+	m.pathCache.Trace = m.obs
+
 	m.fc = 0
 	m.instsThis = 0
 	m.branchesThis = 0
@@ -290,6 +301,20 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 		pc := m.em.PC()
 		seq := m.em.Seq()
 		fc := m.fetchCycleFor(pc, m.isBr[pc], seq)
+		if m.obs != nil {
+			// Stamp subsequent events (including the Path Cache's, which
+			// has no clock of its own) with this instruction's fetch cycle,
+			// and take a periodic occupancy sample.
+			m.obs.SetNow(fc)
+			if m.obs.ShouldSample(fc) {
+				m.obs.AddSample(obs.Sample{
+					Cycle:      fc,
+					ActiveCtxs: m.activeCtxs,
+					WindowOcc:  m.windowOcc(fc),
+					FetchSlots: m.instsThis,
+				})
+			}
+		}
 		if cfg.Mode == ModeMicrothread {
 			m.trySpawns(pc, seq, fc)
 		}
@@ -390,6 +415,21 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, isBr bool, i uint64) uint64 {
 		m.branchesThis++
 	}
 	return m.fc
+}
+
+// windowOcc approximates out-of-order window occupancy at fetch cycle fc:
+// how many retirement-ring slots still hold retire cycles beyond fc, i.e.
+// recently fetched instructions not yet retired. The ring covers the last
+// WindowSize instructions, which bounds the answer exactly as the real
+// window does.
+func (m *Machine) windowOcc(fc uint64) int {
+	n := 0
+	for _, rc := range m.retRing {
+		if rc > fc {
+			n++
+		}
+	}
+	return n
 }
 
 func containsLine(lines []uint64, l uint64) bool {
@@ -545,6 +585,10 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 					// Early: the prediction steers fetch in
 					// place of the hardware prediction.
 					m.res.Micro.Early++
+					if m.obs != nil {
+						m.obs.Emit(obs.KindDeliveryEarly, uint64(termID), rec.Seq, e.Ready)
+						m.obs.ObserveEarlySlack(fc - e.Ready)
+					}
 					m.res.Micro.UsedPredictions++
 					next = eNext
 					if eNext == rec.NextPC {
@@ -564,6 +608,10 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 					// prediction; a differing microthread
 					// prediction initiates a recovery.
 					m.res.Micro.Late++
+					if m.obs != nil {
+						m.obs.Emit(obs.KindDeliveryLate, uint64(termID), rec.Seq, e.Ready)
+						m.obs.ObserveLateSlack(e.Ready - fc)
+					}
 					if eNext != hwNext {
 						switch {
 						case eNext == rec.NextPC:
@@ -599,6 +647,9 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 				default:
 					// Useless: arrived after resolution.
 					m.res.Micro.Useless++
+					if m.obs != nil {
+						m.obs.Emit(obs.KindDeliveryUseless, uint64(termID), rec.Seq, e.Ready)
+					}
 				}
 			}
 		}

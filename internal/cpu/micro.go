@@ -6,6 +6,7 @@ import (
 
 	"dpbp/internal/emu"
 	"dpbp/internal/isa"
+	"dpbp/internal/obs"
 	"dpbp/internal/pcache"
 	"dpbp/internal/uthread"
 )
@@ -59,17 +60,26 @@ func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 			continue // still being built
 		}
 		m.res.Micro.AttemptedSpawns++
+		if m.obs != nil {
+			m.obs.Emit(obs.KindSpawnAttempt, uint64(r.PathID), seq, 0)
+		}
 		// Path_History screen: this dynamic instance of the spawn PC
 		// is only on the routine's path if the most recent taken
 		// branches match the path prefix before the spawn point.
 		// Mismatches are aborted before a microcontext is allocated.
 		if m.cfg.AbortEnabled && !m.prefixMatches(r.PrefixTakens) {
-			m.res.Micro.NoContextDrops++
+			m.res.Micro.PrefixMismatchDrops++
+			if m.obs != nil {
+				m.obs.Emit(obs.KindSpawnDropPrefix, uint64(r.PathID), seq, 0)
+			}
 			continue
 		}
 		ci := m.freeContext()
 		if ci < 0 {
 			m.res.Micro.NoContextDrops++
+			if m.obs != nil {
+				m.obs.Emit(obs.KindSpawnDropNoContext, uint64(r.PathID), seq, 0)
+			}
 			continue
 		}
 		m.spawn(ci, r, seq, fc)
@@ -130,6 +140,9 @@ func (m *Machine) deactivate(i int) {
 func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 	ctx := &m.ctxs[ci]
 	m.res.Micro.Spawned++
+	if m.obs != nil {
+		m.obs.Emit(obs.KindSpawn, uint64(r.PathID), seq, uint64(ci))
+	}
 	m.windowSpawns++
 
 	// Functional execution against spawn-point state: the emulator has
@@ -219,6 +232,9 @@ func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 			Ready:  complete,
 		})
 		ctx.wrote = true
+		if m.obs != nil {
+			m.obs.Emit(obs.KindPCacheWrite, uint64(r.PathID), targetSeq, complete)
+		}
 	}
 }
 
@@ -275,6 +291,9 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 				// the stale prediction itself stays and simply risks
 				// being wrong.
 				m.res.Micro.MemDepViolations++
+				if m.obs != nil {
+					m.obs.Emit(obs.KindMemDepViolation, uint64(ctx.r.PathID), rec.Seq, uint64(rec.EA))
+				}
 				if m.cfg.RebuildOnViolation {
 					m.uram.MarkRebuild(ctx.r.PathID)
 				}
@@ -282,6 +301,9 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 			if rec.Seq >= ctx.targetSeq {
 				m.deactivate(i)
 				m.res.Micro.Completed++
+				if m.obs != nil {
+					m.obs.Emit(obs.KindComplete, uint64(ctx.r.PathID), ctx.spawnSeq, uint64(i))
+				}
 				continue
 			}
 			if m.cfg.AbortEnabled && rec.Inst.IsBranch() && rec.Taken {
@@ -302,6 +324,9 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 func (m *Machine) abortContext(ci int, fc uint64) {
 	ctx := &m.ctxs[ci]
 	m.res.Micro.AbortedActive++
+	if m.obs != nil {
+		m.obs.Emit(obs.KindAbortActive, uint64(ctx.r.PathID), ctx.spawnSeq, uint64(ci))
+	}
 	for _, ir := range ctx.issues {
 		if ir.cycle > fc {
 			m.fus.remove(ir.cycle)

@@ -11,12 +11,15 @@ import (
 
 // MicroStats counts microthread activity for one run.
 type MicroStats struct {
-	// Spawning.
-	AttemptedSpawns uint64
-	NoContextDrops  uint64 // aborted before allocating a microcontext
-	Spawned         uint64
-	AbortedActive   uint64 // aborted after allocation, before completion
-	Completed       uint64
+	// Spawning. The paper's "aborted before allocating a microcontext"
+	// bucket is PreAllocationDrops(): the Path_History screen and
+	// microcontext exhaustion are distinct causes and counted apart.
+	AttemptedSpawns     uint64
+	PrefixMismatchDrops uint64 // Path_History screen rejected the instance
+	NoContextDrops      uint64 // all microcontexts were busy
+	Spawned             uint64
+	AbortedActive       uint64 // aborted after allocation, before completion
+	Completed           uint64
 
 	// Prediction delivery (Figure 9 categories; consumed predictions
 	// only — predictions for branches never reached are excluded, as in
@@ -48,13 +51,20 @@ type MicroStats struct {
 	WrongPathAttempts uint64
 }
 
+// PreAllocationDrops returns the total spawn attempts aborted before a
+// microcontext was allocated, for either cause. (Older versions lumped
+// both causes into NoContextDrops; this is the equivalent total.)
+func (m *MicroStats) PreAllocationDrops() uint64 {
+	return m.PrefixMismatchDrops + m.NoContextDrops
+}
+
 // AbortPreFraction returns the fraction of attempted spawns aborted before
 // microcontext allocation (the paper reports 67%).
 func (m *MicroStats) AbortPreFraction() float64 {
 	if m.AttemptedSpawns == 0 {
 		return 0
 	}
-	return float64(m.NoContextDrops) / float64(m.AttemptedSpawns)
+	return float64(m.PreAllocationDrops()) / float64(m.AttemptedSpawns)
 }
 
 // AbortActiveFraction returns the fraction of successful spawns aborted

@@ -73,7 +73,7 @@ func TestSuiteInvariants(t *testing.T) {
 			}
 			// Bookkeeping consistency.
 			ms := mech.Micro
-			if ms.Spawned != ms.AttemptedSpawns-ms.NoContextDrops {
+			if ms.Spawned != ms.AttemptedSpawns-ms.PreAllocationDrops() {
 				t.Errorf("spawn accounting broken: %+v", ms)
 			}
 			if ms.Completed+ms.AbortedActive > ms.Spawned {

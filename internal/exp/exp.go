@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dpbp/internal/cpu"
+	"dpbp/internal/obs"
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
 	"dpbp/internal/results"
@@ -47,6 +48,11 @@ type Options struct {
 	// same baseline runs). Cached values are shared and must be treated
 	// as immutable, which every consumer in this package honours.
 	Cache *runcache.Cache
+	// Trace, when non-nil, attaches a lifecycle tracer to every timing
+	// run (named "<bench>/<mode>[+variant]"). Traced runs bypass the
+	// cache: a cache hit would return statistics without replaying the
+	// events that reconcile with them.
+	Trace *obs.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -110,10 +116,13 @@ var machines cpu.Pool
 
 // timedRun executes one cancellable timing run on a pooled machine,
 // memoized through o.Cache when one is set. A config carrying an OnBuild
-// hook is observable (the hook sees every built routine) and has no
-// canonical encoding, so it always runs fresh.
+// hook or a tracer is observable (the hook sees every built routine, the
+// tracer every lifecycle event), so it always runs fresh.
 func timedRun(ctx context.Context, o Options, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {
-	if o.Cache == nil || cfg.OnBuild != nil {
+	if o.Trace != nil {
+		cfg.Obs = o.Trace.StartRun(runName(prog, cfg))
+	}
+	if o.Cache == nil || cfg.OnBuild != nil || cfg.Obs != nil {
 		return timedRunFresh(ctx, prog, cfg)
 	}
 	key := runcache.KeyOf("cpu", prog.Fingerprint(), cfg.Canonical())
@@ -124,6 +133,21 @@ func timedRun(ctx context.Context, o Options, prog *program.Program, cfg cpu.Con
 		return nil, err
 	}
 	return v.(*cpu.Result), nil
+}
+
+// runName labels one timing run in trace output: benchmark, mode, and
+// the switches that distinguish the sweep variants.
+func runName(prog *program.Program, cfg cpu.Config) string {
+	name := prog.Name + "/" + cfg.Mode.String()
+	if cfg.Mode == cpu.ModeMicrothread {
+		if !cfg.UsePredictions {
+			name += "+overhead-only"
+		}
+		if cfg.Pruning {
+			name += "+prune"
+		}
+	}
+	return name
 }
 
 func timedRunFresh(ctx context.Context, prog *program.Program, cfg cpu.Config) (*cpu.Result, error) {

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		if c := k.Category(); c == "" {
+			t.Errorf("kind %s has no category", name)
+		}
+	}
+	if NumKinds.String() != "unknown" {
+		t.Errorf("out-of-range kind named %q", NumKinds.String())
+	}
+}
+
+func TestTracerCountsAndEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.SetNow(10)
+	tr.Emit(KindSpawn, 0xab, 7, 3)
+	tr.EmitAt(20, KindAbortActive, 0xab, 8, 0)
+	if got := tr.Count(KindSpawn); got != 1 {
+		t.Errorf("Count(spawn) = %d", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len(events) = %d", len(evs))
+	}
+	if evs[0].Cycle != 10 || evs[0].Kind != KindSpawn || evs[0].Path != 0xab || evs[0].Seq != 7 || evs[0].Arg != 3 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Cycle != 20 || evs[1].Kind != KindAbortActive {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestTracerLimitDropsEventsNotCounts(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(KindSpawnAttempt, uint64(i), 0, 0)
+	}
+	if len(tr.Events()) != 2 {
+		t.Errorf("len(events) = %d, want 2", len(tr.Events()))
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+	if tr.Count(KindSpawnAttempt) != 5 {
+		t.Errorf("Count = %d, want 5 (counters must not be bounded)", tr.Count(KindSpawnAttempt))
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleEvery(100)
+	if !tr.ShouldSample(0) {
+		t.Error("first sample not due")
+	}
+	tr.AddSample(Sample{Cycle: 0, ActiveCtxs: 1})
+	if tr.ShouldSample(99) {
+		t.Error("sample due before interval elapsed")
+	}
+	if !tr.ShouldSample(100) {
+		t.Error("sample not due after interval")
+	}
+	tr.AddSample(Sample{Cycle: 100, ActiveCtxs: 2, WindowOcc: 50, FetchSlots: 3})
+	if got := tr.Samples(); len(got) != 2 || got[1].WindowOcc != 50 {
+		t.Errorf("samples = %+v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 5, 9, 1000} {
+		h.Observe(v)
+	}
+	if h.N() != 6 || h.Sum() != 1016 || h.Max() != 1000 {
+		t.Errorf("n=%d sum=%d max=%d", h.N(), h.Sum(), h.Max())
+	}
+	want := []HistBucket{
+		{Lo: 0, Hi: 1, Count: 1},      // the zero
+		{Lo: 1, Hi: 2, Count: 2},      // 1, 1
+		{Lo: 4, Hi: 8, Count: 1},      // 5
+		{Lo: 8, Hi: 16, Count: 1},     // 9
+		{Lo: 512, Hi: 1024, Count: 1}, // 1000
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var m Histogram
+	m.Merge(&h)
+	m.Merge(&h)
+	if m.N() != 12 || m.Max() != 1000 {
+		t.Errorf("merge: n=%d max=%d", m.N(), m.Max())
+	}
+}
+
+func TestRegistryAccumulatesAndOrders(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b.second", 2)
+	r.Add("a.first", 1)
+	r.Add("b.second", 3)
+	cs := r.Counters()
+	if len(cs) != 2 || cs[0].Name != "b.second" || cs[0].Value != 5 || cs[1].Name != "a.first" {
+		t.Errorf("counters = %+v (want registration order, accumulated)", cs)
+	}
+	if r.Get("b.second") != 5 || r.Get("missing") != 0 {
+		t.Error("Get wrong")
+	}
+}
+
+func TestRegistryAddStruct(t *testing.T) {
+	type inner struct{ DeepCount uint64 }
+	type stats struct {
+		Hits          uint64
+		AllocsAvoided uint64
+		HWMispredicts uint64
+		SomeInt       int
+		Negative      int
+		Skipped       float64
+		Nested        inner
+		unexported    uint64
+	}
+	_ = stats{}.unexported
+	r := NewRegistry()
+	r.AddStruct("x", stats{Hits: 7, AllocsAvoided: 3, HWMispredicts: 2, SomeInt: 5, Negative: -1, Skipped: 1.5, Nested: inner{DeepCount: 9}})
+	r.AddStruct("x", &stats{Hits: 1})
+	checks := map[string]uint64{
+		"x.hits":              8,
+		"x.allocs_avoided":    3,
+		"x.hw_mispredicts":    2,
+		"x.some_int":          5,
+		"x.negative":          0, // negative values skipped, zero registers
+		"x.nested.deep_count": 9,
+	}
+	for name, want := range checks {
+		if got := r.Get(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for _, c := range r.Counters() {
+		if c.Name == "x.skipped" || c.Name == "x.unexported" {
+			t.Errorf("field %s should have been skipped", c.Name)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Hits":            "hits",
+		"AllocsAvoided":   "allocs_avoided",
+		"HWMispredicts":   "hw_mispredicts",
+		"MicroInsts":      "micro_insts",
+		"NoContextDrops":  "no_context_drops",
+		"L1MissRate":      "l1_miss_rate",
+		"UsedPredictions": "used_predictions",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Add("micro.spawned", 12)
+	r.Add("pathcache.hits", 34)
+	var h Histogram
+	h.Observe(4)
+	h.Observe(100)
+	r.AddHistogram("trace.early_slack_cycles", &h)
+
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			N       uint64       `json:"n"`
+			Sum     uint64       `json:"sum"`
+			Max     uint64       `json:"max"`
+			Buckets []HistBucket `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("invalid JSON %s: %v", b, err)
+	}
+	if doc.Counters["micro.spawned"] != 12 || doc.Counters["pathcache.hits"] != 34 {
+		t.Errorf("counters = %+v", doc.Counters)
+	}
+	hd := doc.Histograms["trace.early_slack_cycles"]
+	if hd.N != 2 || hd.Sum != 104 || hd.Max != 100 || len(hd.Buckets) != 2 {
+		t.Errorf("histogram = %+v", hd)
+	}
+	// Counter keys must appear in registration order in the raw bytes.
+	if i, j := bytes.Index(b, []byte("micro.spawned")), bytes.Index(b, []byte("pathcache.hits")); i > j {
+		t.Errorf("registration order lost in %s", b)
+	}
+}
+
+func TestCollectorConcurrentStartRun(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := c.StartRun(fmt.Sprintf("run%d", i))
+			for j := 0; j < 100; j++ {
+				tr.Emit(KindSpawn, uint64(i), uint64(j), 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	runs := c.Runs()
+	if len(runs) != 16 {
+		t.Fatalf("len(runs) = %d", len(runs))
+	}
+	reg := NewRegistry()
+	c.AddTo(reg)
+	if got := reg.Get("trace.spawn"); got != 1600 {
+		t.Errorf("aggregated spawns = %d, want 1600", got)
+	}
+}
+
+// TestChromeTraceShape validates the exported document against the
+// trace-event schema the CI smoke step checks: a traceEvents array whose
+// records all carry name/ph/pid, instants carry ts, and per-run
+// process_name metadata is present.
+func TestChromeTraceShape(t *testing.T) {
+	c := NewCollector()
+	tr := c.StartRun("gcc/prune")
+	tr.SetNow(5)
+	tr.Emit(KindSpawn, 0xdead, 42, 1)
+	tr.Emit(KindDeliveryEarly, 0xdead, 43, 9)
+	tr.AddSample(Sample{Cycle: 8, ActiveCtxs: 2, WindowOcc: 17, FetchSlots: 4})
+	tr.SetLimit(1) // force a drop so truncation metadata appears
+	tr.Emit(KindSpawn, 1, 2, 3)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	var sawProcessName, sawInstant, sawCounter, sawTruncated bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if name == "" || ph == "" {
+			t.Errorf("event missing name/ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event missing pid: %v", ev)
+		}
+		switch ph {
+		case "M":
+			if name == "process_name" {
+				sawProcessName = true
+			}
+			if name == "trace_truncated" {
+				sawTruncated = true
+			}
+		case "i":
+			sawInstant = true
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("instant missing ts: %v", ev)
+			}
+		case "C":
+			sawCounter = true
+		default:
+			t.Errorf("unexpected ph %q", ph)
+		}
+	}
+	if !sawProcessName || !sawInstant || !sawCounter || !sawTruncated {
+		t.Errorf("missing record types: process_name=%v instant=%v counter=%v truncated=%v",
+			sawProcessName, sawInstant, sawCounter, sawTruncated)
+	}
+}
+
+func TestTracerAddTo(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(KindSpawn, 1, 2, 3)
+	tr.Emit(KindSpawn, 1, 3, 3)
+	tr.ObserveEarlySlack(12)
+	reg := NewRegistry()
+	tr.AddTo(reg)
+	if reg.Get("trace.spawn") != 2 {
+		t.Errorf("trace.spawn = %d", reg.Get("trace.spawn"))
+	}
+	hs := reg.Histograms()
+	if len(hs) != 2 || hs[0].Name != "trace.early_slack_cycles" || hs[0].Hist.N() != 1 {
+		t.Errorf("histograms = %+v", hs)
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"reflect"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed distribution of uint64 samples:
+// bucket i holds values whose bit length is i, i.e. [2^(i-1), 2^i), with
+// bucket 0 holding exact zeros. It is fixed-size and allocation-free,
+// which is what lets the tracer histogram per-event quantities on the
+// hot path.
+type Histogram struct {
+	counts [65]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bits.Len64(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge accumulates other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// HistBucket is one non-empty histogram bucket: Count samples fell in
+// [Lo, Hi).
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		var lo, hi uint64
+		if i > 0 {
+			lo = 1 << (i - 1)
+			hi = lo << 1 // i == 64 overflows to 0; rendered as open-ended below
+		} else {
+			lo, hi = 0, 1
+		}
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// Counter is one named value in a Registry snapshot.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// NamedHistogram is one named distribution in a Registry snapshot.
+type NamedHistogram struct {
+	Name string
+	Hist *Histogram
+}
+
+// Registry is an ordered, named, JSON-serializable view over the
+// simulator's scattered statistics structs (cpu.MicroStats,
+// pathcache.Stats, pcache.Stats, runcache.Stats, ...) plus any tracer
+// counters and histograms. Add and AddStruct accumulate — registering
+// the same name twice sums the values — so one registry can aggregate a
+// whole sweep's runs into a single metrics view.
+type Registry struct {
+	order []string
+	vals  map[string]uint64
+
+	horder []string
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: map[string]uint64{}, hists: map[string]*Histogram{}}
+}
+
+// Add accumulates v into the named counter, creating it on first use.
+func (r *Registry) Add(name string, v uint64) {
+	if _, ok := r.vals[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.vals[name] += v
+}
+
+// AddHistogram merges h into the named histogram, creating it on first
+// use. The registry copies the data; h is not retained.
+func (r *Registry) AddHistogram(name string, h *Histogram) {
+	dst, ok := r.hists[name]
+	if !ok {
+		dst = &Histogram{}
+		r.hists[name] = dst
+		r.horder = append(r.horder, name)
+	}
+	dst.Merge(h)
+}
+
+// AddStruct registers every unsigned-integer field of a statistics
+// struct (or pointer to one) as "<prefix>.<snake_case_field>",
+// accumulating into existing counters. Nested structs recurse with the
+// field name joined onto the prefix; other field kinds are skipped, so
+// any of the repo's Stats structs can be thrown at it as-is.
+func (r *Registry) AddStruct(prefix string, stats any) {
+	v := reflect.ValueOf(stats)
+	for v.Kind() == reflect.Ptr {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return
+	}
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := prefix + "." + snakeCase(f.Name)
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			r.Add(name, fv.Uint())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if n := fv.Int(); n >= 0 {
+				r.Add(name, uint64(n))
+			}
+		case reflect.Struct:
+			r.AddStruct(name, fv.Interface())
+		}
+	}
+}
+
+// Counters returns the counters in registration order.
+func (r *Registry) Counters() []Counter {
+	out := make([]Counter, len(r.order))
+	for i, name := range r.order {
+		out[i] = Counter{Name: name, Value: r.vals[name]}
+	}
+	return out
+}
+
+// Histograms returns the histograms in registration order.
+func (r *Registry) Histograms() []NamedHistogram {
+	out := make([]NamedHistogram, len(r.horder))
+	for i, name := range r.horder {
+		out[i] = NamedHistogram{Name: name, Hist: r.hists[name]}
+	}
+	return out
+}
+
+// Get returns the named counter's value (0 if absent).
+func (r *Registry) Get(name string) uint64 { return r.vals[name] }
+
+// Len returns the number of registered counters.
+func (r *Registry) Len() int { return len(r.order) }
+
+// jsonHistogram is the serialized form of a histogram.
+type jsonHistogram struct {
+	N       uint64       `json:"n"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the registry as
+// {"counters": {...}, "histograms": {...}} with keys in registration
+// order (hand-assembled: encoding/json would sort map keys).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(`{"counters":{`)
+	for i, name := range r.order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(k)
+		fmt.Fprintf(&b, ":%d", r.vals[name])
+	}
+	b.WriteString(`},"histograms":{`)
+	for i, name := range r.horder {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		h := r.hists[name]
+		hv, err := json.Marshal(jsonHistogram{
+			N: h.N(), Sum: h.Sum(), Max: h.Max(), Mean: h.Mean(), Buckets: h.Buckets(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Write(k)
+		b.WriteByte(':')
+		b.Write(hv)
+	}
+	b.WriteString("}}")
+	return b.Bytes(), nil
+}
+
+// snakeCase converts a Go field name to its metric form:
+// "AllocsAvoided" -> "allocs_avoided", "HWMispredicts" ->
+// "hw_mispredicts", "MicroInsts" -> "micro_insts".
+func snakeCase(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i, c := range rs {
+		if c >= 'A' && c <= 'Z' {
+			// Break before an upper that follows a lower, or that
+			// starts a new word after an acronym run (upper followed
+			// by lower).
+			if i > 0 {
+				prevLower := rs[i-1] >= 'a' && rs[i-1] <= 'z' || rs[i-1] >= '0' && rs[i-1] <= '9'
+				nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+				prevUpper := rs[i-1] >= 'A' && rs[i-1] <= 'Z'
+				if prevLower || (prevUpper && nextLower) {
+					b.WriteByte('_')
+				}
+			}
+			b.WriteRune(c - 'A' + 'a')
+		} else {
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -16,7 +16,10 @@
 // once the Microthread Builder accepts the request.
 package pathcache
 
-import "dpbp/internal/path"
+import (
+	"dpbp/internal/obs"
+	"dpbp/internal/path"
+)
 
 // Config sizes and tunes the Path Cache.
 type Config struct {
@@ -61,6 +64,11 @@ type Stats struct {
 	DifficultCleared uint64 // Difficult-bit 1->0 transitions
 	Promotions       uint64
 	Demotions        uint64
+	// PromotionsRejected counts SetPromoted(id, false) calls: promotion
+	// requests the Microthread Builder declined (busy, build failed, or
+	// MicroRAM full). A rejection on a currently-promoted entry also
+	// counts a demotion, since the Promoted bit transitions 1->0.
+	PromotionsRejected uint64
 }
 
 type entry struct {
@@ -81,9 +89,21 @@ type Cache struct {
 	tick uint64
 
 	Stats Stats
+
+	// Trace, when non-nil, receives allocate/replace/promote/demote
+	// events (nil-hook pattern: the timing core sets it when tracing is
+	// enabled; event timestamps come from the tracer's SetNow clock).
+	// It is pure observation and never influences behaviour.
+	Trace *obs.Tracer
 }
 
-// New returns a Path Cache configured by cfg.
+// New returns a Path Cache configured by cfg. The set count is
+// cfg.Entries/cfg.Ways rounded DOWN to a power of two (minimum one
+// set) for mask indexing, so the effective capacity — Capacity() —
+// never exceeds the configured entry count; a non-power-of-two request
+// is served by the largest power-of-two geometry that fits. (Rounding
+// up, as this constructor once did, silently granted a 6K-entry
+// configuration 8K entries and biased capacity-sensitivity ablations.)
 func New(cfg Config) *Cache {
 	d := DefaultConfig()
 	if cfg.Entries <= 0 {
@@ -96,9 +116,9 @@ func New(cfg Config) *Cache {
 		cfg.TrainInterval = d.TrainInterval
 	}
 	nsets := cfg.Entries / cfg.Ways
-	// Round set count to a power of two for mask indexing.
+	// Round the set count down to a power of two (min 1).
 	p := 1
-	for p < nsets {
+	for p*2 <= nsets {
 		p *= 2
 	}
 	nsets = p
@@ -109,6 +129,10 @@ func New(cfg Config) *Cache {
 	}
 	return &Cache{cfg: cfg, sets: sets, mask: uint64(nsets - 1)}
 }
+
+// Capacity returns the effective entry count: sets × ways after the
+// power-of-two set rounding. It is at most the configured Entries.
+func (c *Cache) Capacity() int { return len(c.sets) * c.cfg.Ways }
 
 func (c *Cache) set(id path.ID) []entry {
 	return c.sets[uint64(id)&c.mask]
@@ -139,7 +163,17 @@ func (c *Cache) Observe(id path.ID, mispredicted bool) Event {
 			c.Stats.AllocsAvoided++
 			return Event{}
 		}
-		e = c.victim(id)
+		var replaced bool
+		e, replaced = c.victim(id)
+		c.Stats.Allocations++
+		if replaced {
+			c.Stats.Replacements++
+			if c.Trace != nil {
+				c.Trace.Emit(obs.KindPathReplace, uint64(id), 0, uint64(e.id))
+			}
+		} else if c.Trace != nil {
+			c.Trace.Emit(obs.KindPathAlloc, uint64(id), 0, 0)
+		}
 		*e = entry{id: id, valid: true, lru: c.tick}
 	} else {
 		c.Stats.Hits++
@@ -165,6 +199,9 @@ func (c *Cache) Observe(id path.ID, mispredicted bool) Event {
 		if !e.difficult && e.promoted {
 			e.promoted = false
 			c.Stats.Demotions++
+			if c.Trace != nil {
+				c.Trace.Emit(obs.KindPathDemote, uint64(id), 0, 0)
+			}
 			ev.Demote = true
 		}
 	}
@@ -179,14 +216,33 @@ func (c *Cache) Observe(id path.ID, mispredicted bool) Event {
 
 // SetPromoted records the builder's answer to a promotion request. Pass
 // false if the builder could not satisfy the request, leaving the request
-// to fire again on the next update.
+// to fire again on the next update. Every refusal counts in
+// PromotionsRejected; a refusal that clears a currently-set Promoted bit
+// additionally counts a demotion (the bit transitions 1->0), so
+// builder-rejected promotions no longer vanish from the statistics.
 func (c *Cache) SetPromoted(id path.ID, ok bool) {
 	e := c.lookup(id)
 	if e == nil {
 		return
 	}
-	if ok && !e.promoted {
-		c.Stats.Promotions++
+	if ok {
+		if !e.promoted {
+			c.Stats.Promotions++
+			if c.Trace != nil {
+				c.Trace.Emit(obs.KindPathPromote, uint64(id), 0, 0)
+			}
+		}
+	} else {
+		c.Stats.PromotionsRejected++
+		if c.Trace != nil {
+			c.Trace.Emit(obs.KindPathPromoteRejected, uint64(id), 0, 0)
+		}
+		if e.promoted {
+			c.Stats.Demotions++
+			if c.Trace != nil {
+				c.Trace.Emit(obs.KindPathDemote, uint64(id), 0, 0)
+			}
+		}
 	}
 	e.promoted = ok
 }
@@ -206,17 +262,16 @@ func (c *Cache) Promoted(id path.ID) bool {
 // victim picks a replacement slot in id's set: an invalid slot if any,
 // otherwise the LRU entry among non-difficult entries, falling back to
 // the overall LRU entry when every way is difficult. PlainLRU disables
-// the difficulty bias.
-func (c *Cache) victim(id path.ID) *entry {
+// the difficulty bias. The second return reports whether the slot holds
+// a valid entry being replaced; victim itself is pure selection — the
+// caller does the statistics and event accounting.
+func (c *Cache) victim(id path.ID) (*entry, bool) {
 	set := c.set(id)
 	for i := range set {
 		if !set[i].valid {
-			c.Stats.Allocations++
-			return &set[i]
+			return &set[i], false
 		}
 	}
-	c.Stats.Allocations++
-	c.Stats.Replacements++
 	best := -1
 	for i := range set {
 		if !c.cfg.PlainLRU && set[i].difficult {
@@ -233,7 +288,7 @@ func (c *Cache) victim(id path.ID) *entry {
 			}
 		}
 	}
-	return &set[best]
+	return &set[best], true
 }
 
 // DifficultCount returns the number of currently difficult entries, for

@@ -1,6 +1,7 @@
 package pathcache
 
 import (
+	"dpbp/internal/obs"
 	"testing"
 
 	"dpbp/internal/path"
@@ -228,5 +229,193 @@ func TestZeroConfigDefaults(t *testing.T) {
 	}
 	if !c.Difficult(id) {
 		t.Error("default interval did not trigger at 32")
+	}
+}
+
+func TestCapacityRoundsDownToPowerOfTwo(t *testing.T) {
+	cases := []struct {
+		entries, ways, wantSets, wantCap int
+	}{
+		{8192, 8, 1024, 8192},   // paper default: already a power of two
+		{6144, 8, 512, 4096},    // 6K/8-way: 768 sets rounds DOWN, not up to 1024
+		{4, 4, 1, 4},            // single set
+		{3, 8, 1, 8},            // fewer entries than ways: min one set
+		{100, 4, 16, 64},        // 25 sets -> 16
+		{1 << 10, 2, 512, 1024}, // power of two stays exact
+	}
+	for _, tc := range cases {
+		c := New(Config{Entries: tc.entries, Ways: tc.ways, TrainInterval: 8, Threshold: 0.10})
+		if len(c.sets) != tc.wantSets {
+			t.Errorf("Entries=%d Ways=%d: sets = %d, want %d", tc.entries, tc.ways, len(c.sets), tc.wantSets)
+		}
+		if got := c.Capacity(); got != tc.wantCap {
+			t.Errorf("Entries=%d Ways=%d: Capacity = %d, want %d", tc.entries, tc.ways, got, tc.wantCap)
+		}
+		if c.Capacity() > tc.entries && tc.entries >= tc.ways {
+			t.Errorf("Entries=%d: effective capacity %d exceeds configured entries", tc.entries, c.Capacity())
+		}
+	}
+}
+
+func TestPromotionsRejectedCounted(t *testing.T) {
+	c := New(small())
+	id := path.ID(13)
+	for i := 0; i < 8; i++ {
+		c.Observe(id, true)
+	}
+	c.SetPromoted(id, false) // builder busy
+	c.SetPromoted(id, false) // still busy
+	if c.Stats.PromotionsRejected != 2 {
+		t.Errorf("PromotionsRejected = %d, want 2", c.Stats.PromotionsRejected)
+	}
+	if c.Stats.Demotions != 0 {
+		t.Errorf("refusals on a non-promoted entry counted demotions: %d", c.Stats.Demotions)
+	}
+	c.SetPromoted(path.ID(999), false) // unknown path: no-op
+	if c.Stats.PromotionsRejected != 2 {
+		t.Error("refusal counted for a path not in the cache")
+	}
+}
+
+func TestRejectionOnPromotedEntryCountsDemotion(t *testing.T) {
+	c := New(small())
+	id := path.ID(17)
+	for i := 0; i < 8; i++ {
+		c.Observe(id, true)
+	}
+	c.SetPromoted(id, true)
+	if c.Stats.Promotions != 1 || !c.Promoted(id) {
+		t.Fatal("setup wrong")
+	}
+	// A refusal that clears a set Promoted bit is both a rejection and a
+	// demotion: the bit transitions 1->0.
+	c.SetPromoted(id, false)
+	if c.Promoted(id) {
+		t.Error("Promoted bit survived refusal")
+	}
+	if c.Stats.PromotionsRejected != 1 {
+		t.Errorf("PromotionsRejected = %d, want 1", c.Stats.PromotionsRejected)
+	}
+	if c.Stats.Demotions != 1 {
+		t.Errorf("Demotions = %d, want 1 (bit transitioned 1->0)", c.Stats.Demotions)
+	}
+	// Re-promoting counts a fresh promotion.
+	c.SetPromoted(id, true)
+	if c.Stats.Promotions != 2 {
+		t.Errorf("Promotions = %d, want 2", c.Stats.Promotions)
+	}
+}
+
+func TestVictimPrefersInvalidSlot(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, TrainInterval: 4, Threshold: 0.10}
+	c := New(cfg)
+	c.Observe(path.ID(1), true)
+	e, replaced := c.victim(path.ID(2))
+	if replaced {
+		t.Error("victim reported replacement with invalid slots free")
+	}
+	if e == nil || e.valid {
+		t.Error("victim did not pick an invalid slot")
+	}
+}
+
+func TestVictimAllDifficultFallback(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, TrainInterval: 2, Threshold: 0.10}
+	c := New(cfg)
+	// Fill all 4 ways with difficult entries, in id order, so id 1 holds
+	// the oldest lru tick.
+	for id := path.ID(1); id <= 4; id++ {
+		c.Observe(id, true)
+		c.Observe(id, true)
+	}
+	for id := path.ID(1); id <= 4; id++ {
+		if !c.Difficult(id) {
+			t.Fatal("setup wrong")
+		}
+	}
+	e, replaced := c.victim(path.ID(50))
+	if !replaced {
+		t.Error("full set must report a replacement")
+	}
+	if e.id != path.ID(1) {
+		t.Errorf("all-difficult fallback picked id %d, want overall LRU id 1", e.id)
+	}
+}
+
+func TestVictimPlainLRUIgnoresDifficulty(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, TrainInterval: 2, Threshold: 0.10, PlainLRU: true}
+	c := New(cfg)
+	// id 1: difficult, oldest. ids 2-4: easy, newer.
+	c.Observe(path.ID(1), true)
+	c.Observe(path.ID(1), true)
+	for id := path.ID(2); id <= 4; id++ {
+		c.Observe(id, true)
+		c.Observe(id, false)
+	}
+	e, replaced := c.victim(path.ID(50))
+	if !replaced || e.id != path.ID(1) {
+		t.Errorf("PlainLRU victim = id %d (replaced=%v), want oldest id 1", e.id, replaced)
+	}
+}
+
+func TestVictimLRUOrdering(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, TrainInterval: 64, Threshold: 0.10}
+	c := New(cfg)
+	// Fill the set; no entry trains to difficult (interval 64 never
+	// elapses), so selection is pure LRU over monotonically increasing
+	// ticks (uint64 ticks cannot wrap within a run).
+	for id := path.ID(1); id <= 4; id++ {
+		c.Observe(id, true)
+	}
+	// Touch 1 and 3; LRU order is now 2, 4, 1, 3.
+	c.Observe(path.ID(1), false)
+	c.Observe(path.ID(3), false)
+	e, replaced := c.victim(path.ID(50))
+	if !replaced || e.id != path.ID(2) {
+		t.Errorf("victim = id %d (replaced=%v), want LRU id 2", e.id, replaced)
+	}
+	// Touch 2; next victim is 4.
+	c.Observe(path.ID(2), false)
+	e, _ = c.victim(path.ID(50))
+	if e.id != path.ID(4) {
+		t.Errorf("victim after touching 2 = id %d, want 4", e.id)
+	}
+}
+
+func TestTraceEmitsPathCacheEvents(t *testing.T) {
+	cfg := Config{Entries: 2, Ways: 2, TrainInterval: 2, Threshold: 0.10}
+	c := New(cfg)
+	tr := obs.NewTracer()
+	c.Trace = tr
+	// Two allocations into invalid ways, then an eviction.
+	c.Observe(path.ID(1), true)
+	c.Observe(path.ID(2), true)
+	c.Observe(path.ID(3), true)
+	if got := tr.Count(obs.KindPathAlloc); got != 2 {
+		t.Errorf("alloc events = %d, want 2", got)
+	}
+	if got := tr.Count(obs.KindPathReplace); got != 1 {
+		t.Errorf("replace events = %d, want 1", got)
+	}
+	// Train id 3 difficult, promote, reject, demote via refusal.
+	c.Observe(path.ID(3), true)
+	c.SetPromoted(path.ID(3), true)
+	c.SetPromoted(path.ID(3), false)
+	if got := tr.Count(obs.KindPathPromote); got != 1 {
+		t.Errorf("promote events = %d, want 1", got)
+	}
+	if got := tr.Count(obs.KindPathPromoteRejected); got != 1 {
+		t.Errorf("rejected events = %d, want 1", got)
+	}
+	if got := tr.Count(obs.KindPathDemote); got != uint64(c.Stats.Demotions) {
+		t.Errorf("demote events = %d, stats say %d", got, c.Stats.Demotions)
+	}
+	// Event counts reconcile with Stats exactly.
+	if tr.Count(obs.KindPathAlloc)+tr.Count(obs.KindPathReplace) != c.Stats.Allocations {
+		t.Errorf("alloc+replace events %d+%d != Stats.Allocations %d",
+			tr.Count(obs.KindPathAlloc), tr.Count(obs.KindPathReplace), c.Stats.Allocations)
+	}
+	if tr.Count(obs.KindPathReplace) != c.Stats.Replacements {
+		t.Errorf("replace events != Stats.Replacements")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"dpbp/internal/obs"
 	"dpbp/internal/results"
 )
 
@@ -37,6 +38,8 @@ func CSV(w io.Writer, v any) error {
 		err = csvProfileGuided(cw, r)
 	case *results.AblationResult:
 		err = csvAblations(cw, r)
+	case *obs.Registry:
+		err = csvMetrics(cw, r)
 	default:
 		return fmt.Errorf("report: no csv renderer for %T", v)
 	}
@@ -207,6 +210,28 @@ func csvProfileGuided(w *csv.Writer, p *results.ProfileGuidedResult) error {
 		}
 	}
 	return csvErrors(w, p.Errors)
+}
+
+// csvMetrics flattens a metrics registry: counters as metric,value rows,
+// histogram buckets as "name[lo,hi)" rows.
+func csvMetrics(w *csv.Writer, r *obs.Registry) error {
+	if err := w.Write([]string{"metric", "value"}); err != nil {
+		return err
+	}
+	for _, c := range r.Counters() {
+		if err := w.Write([]string{c.Name, utoa(c.Value)}); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		for _, bk := range h.Hist.Buckets() {
+			name := fmt.Sprintf("%s[%d,%d)", h.Name, bk.Lo, bk.Hi)
+			if err := w.Write([]string{name, utoa(bk.Count)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func csvAblations(w *csv.Writer, a *results.AblationResult) error {

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"dpbp/internal/cpu"
+	"dpbp/internal/obs"
 	"dpbp/internal/results"
 )
 
@@ -44,8 +45,30 @@ func TextString(v any) (string, error) {
 		return textProfileGuided(r), nil
 	case *results.AblationResult:
 		return textAblations(r), nil
+	case *obs.Registry:
+		return textMetrics(r), nil
 	}
 	return "", fmt.Errorf("report: no text renderer for %T", v)
+}
+
+// textMetrics renders a metrics registry as an aligned name/value table
+// followed by one block per histogram.
+func textMetrics(r *obs.Registry) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Metrics")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	for _, c := range r.Counters() {
+		fmt.Fprintf(w, "  %s\t%d\n", c.Name, c.Value)
+	}
+	flushTable(w)
+	for _, h := range r.Histograms() {
+		fmt.Fprintf(&b, "\n%s: n=%d mean=%.1f max=%d\n",
+			h.Name, h.Hist.N(), h.Hist.Mean(), h.Hist.Max())
+		for _, bk := range h.Hist.Buckets() {
+			fmt.Fprintf(&b, "  [%d,%d): %d\n", bk.Lo, bk.Hi, bk.Count)
+		}
+	}
+	return b.String()
 }
 
 // flushTable flushes a tabwriter layered over an in-memory builder,
@@ -237,7 +260,7 @@ func textFigure7(f *results.Figure7Result) string {
 	var misses, avoided uint64
 	for _, r := range f.Runs {
 		att += r.Prune.Micro.AttemptedSpawns
-		drop += r.Prune.Micro.NoContextDrops
+		drop += r.Prune.Micro.PreAllocationDrops()
 		spawned += r.Prune.Micro.Spawned
 		aborted += r.Prune.Micro.AbortedActive
 		misses += r.Prune.PathCache.Misses
