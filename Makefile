@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json profile ci
+.PHONY: all build vet lint test race bench bench-json profile fuzz cover ci
 
 all: build vet lint test
 
@@ -34,6 +34,23 @@ bench:
 BENCHTIME ?= 1x
 bench-json:
 	@$(GO) test -json -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+
+# fuzz runs a short smoke of each native fuzz target against the
+# differential oracle (the engine accepts one target per invocation).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/oracle -fuzz FuzzDifferentialRun -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/oracle -fuzz FuzzConfigCanonical -fuzztime $(FUZZTIME) -run '^$$'
+
+# cover enforces the total-statement coverage floor CI checks (the value
+# measured when the floor was introduced, minus a small margin).
+COVER_FLOOR ?= 72.0
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "ERROR: coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # profile runs the full cached `-exp all` workload under the CPU and heap
 # profilers. Inspect with `go tool pprof $(PROFDIR)/cpu.out` (or mem.out);

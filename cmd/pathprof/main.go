@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpbp"
@@ -19,28 +20,37 @@ func main() {
 	insts := flag.Uint64("insts", 1_000_000, "instruction budget")
 	flag.Parse()
 
-	w, err := dpbp.NewWorkload(*bench)
-	if err != nil {
+	if err := run(os.Stdout, *bench, *insts); err != nil {
 		fmt.Fprintln(os.Stderr, "pathprof:", err)
 		os.Exit(1)
 	}
-	p := dpbp.Profile(w, dpbp.PathProfileConfig{MaxInsts: *insts})
-	fmt.Println(p)
+}
 
-	fmt.Println("\nPath characterisation (Table 1 slice):")
+// run profiles one benchmark and writes its characterisation to w. It is
+// the whole CLI behind flag parsing, so tests can drive it directly.
+func run(w io.Writer, bench string, insts uint64) error {
+	wl, err := dpbp.NewWorkload(bench)
+	if err != nil {
+		return err
+	}
+	p := dpbp.Profile(wl, dpbp.PathProfileConfig{MaxInsts: insts})
+	fmt.Fprintln(w, p)
+
+	fmt.Fprintln(w, "\nPath characterisation (Table 1 slice):")
 	for _, row := range p.Table1([]float64{0.05, 0.10, 0.15}) {
-		fmt.Printf("  n=%-2d unique=%-8d avgScope=%-8.2f difficult@.05=%-7d @.10=%-7d @.15=%d\n",
+		fmt.Fprintf(w, "  n=%-2d unique=%-8d avgScope=%-8.2f difficult@.05=%-7d @.10=%-7d @.15=%d\n",
 			row.N, row.UniquePaths, row.AvgScope,
 			row.DifficultAt[0.05], row.DifficultAt[0.10], row.DifficultAt[0.15])
 	}
 
-	fmt.Println("\nCoverage (Table 2 slice):")
+	fmt.Fprintln(w, "\nCoverage (Table 2 slice):")
 	for _, row := range p.Table2([]float64{0.05, 0.10, 0.15}) {
-		fmt.Printf("  T=%.2f  branches: mis%%=%5.1f exe%%=%5.1f", row.T, row.Branch.MisPct, row.Branch.ExePct)
+		fmt.Fprintf(w, "  T=%.2f  branches: mis%%=%5.1f exe%%=%5.1f", row.T, row.Branch.MisPct, row.Branch.ExePct)
 		for _, n := range []int{4, 10, 16} {
 			c := row.ByN[n]
-			fmt.Printf("  n=%d: mis%%=%5.1f exe%%=%5.1f", n, c.MisPct, c.ExePct)
+			fmt.Fprintf(w, "  n=%d: mis%%=%5.1f exe%%=%5.1f", n, c.MisPct, c.ExePct)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -23,31 +24,39 @@ func main() {
 	pruning := flag.Bool("pruning", true, "enable pruning")
 	flag.Parse()
 
-	w, err := dpbp.NewWorkload(*bench)
-	if err != nil {
+	if err := run(os.Stdout, *bench, *insts, *show, *pruning); err != nil {
 		fmt.Fprintln(os.Stderr, "routines:", err)
 		os.Exit(1)
+	}
+}
+
+// run builds and summarises one benchmark's routines to w. It is the
+// whole CLI behind flag parsing, so tests can drive it directly.
+func run(w io.Writer, bench string, insts uint64, show int, pruning bool) error {
+	wl, err := dpbp.NewWorkload(bench)
+	if err != nil {
+		return err
 	}
 
 	var routines []*dpbp.Routine
 	cfg := dpbp.DefaultConfig()
-	cfg.MaxInsts = *insts
-	cfg.Pruning = *pruning
+	cfg.MaxInsts = insts
+	cfg.Pruning = pruning
 	cfg.OnBuild = func(r *dpbp.Routine) { routines = append(routines, r) }
-	res := dpbp.Run(w, cfg)
+	res := dpbp.Run(wl, cfg)
 
-	fmt.Printf("%s: %d routines built over %d instructions (pruning=%v)\n\n",
-		w.Name, len(routines), res.Insts, *pruning)
+	fmt.Fprintf(w, "%s: %d routines built over %d instructions (pruning=%v)\n\n",
+		wl.Name, len(routines), res.Insts, pruning)
 	if len(routines) == 0 {
-		return
+		return nil
 	}
 
 	for i, r := range routines {
-		if i >= *show {
+		if i >= show {
 			break
 		}
-		fmt.Print(r)
-		fmt.Println()
+		fmt.Fprint(w, r)
+		fmt.Fprintln(w)
 	}
 
 	// Distributions.
@@ -66,13 +75,14 @@ func main() {
 	sort.Ints(sizes)
 	sort.Ints(chains)
 	pctile := func(xs []int, p int) int { return xs[(len(xs)-1)*p/100] }
-	fmt.Printf("size:        min=%d p50=%d p90=%d max=%d\n",
+	fmt.Fprintf(w, "size:        min=%d p50=%d p90=%d max=%d\n",
 		sizes[0], pctile(sizes, 50), pctile(sizes, 90), sizes[len(sizes)-1])
-	fmt.Printf("dep chain:   min=%d p50=%d p90=%d max=%d\n",
+	fmt.Fprintf(w, "dep chain:   min=%d p50=%d p90=%d max=%d\n",
 		chains[0], pctile(chains, 50), pctile(chains, 90), chains[len(chains)-1])
-	fmt.Printf("live-ins:    %.2f average per routine\n", float64(liveIns)/float64(len(routines)))
-	fmt.Printf("pruned subtrees: %d total across %d routines\n", pruned, len(routines))
-	fmt.Printf("memory-speculative routines: %d of %d\n", memSpec, len(routines))
-	fmt.Printf("\nbuild terminations: scope=%d memdep=%d mcb-full=%d\n",
+	fmt.Fprintf(w, "live-ins:    %.2f average per routine\n", float64(liveIns)/float64(len(routines)))
+	fmt.Fprintf(w, "pruned subtrees: %d total across %d routines\n", pruned, len(routines))
+	fmt.Fprintf(w, "memory-speculative routines: %d of %d\n", memSpec, len(routines))
+	fmt.Fprintf(w, "\nbuild terminations: scope=%d memdep=%d mcb-full=%d\n",
 		res.Build.TerminatedScope, res.Build.TerminatedMemDep, res.Build.TerminatedMCBFull)
+	return nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSummarisesRoutines(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, "comp", 60_000, 2, true); err != nil {
+		t.Fatalf("run(comp) = %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"routines built over",
+		"size:", "dep chain:", "live-ins:",
+		"build terminations:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunShowZeroPrintsOnlySummary(t *testing.T) {
+	var full, summary bytes.Buffer
+	if err := run(&full, "comp", 60_000, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&summary, "comp", 60_000, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Len() >= full.Len() {
+		t.Errorf("-show 0 output (%d bytes) not shorter than -show 3 (%d bytes)",
+			summary.Len(), full.Len())
+	}
+}
+
+func TestRunPruningOff(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, "comp", 60_000, 0, false); err != nil {
+		t.Fatalf("run(pruning=false) = %v", err)
+	}
+	if !strings.Contains(b.String(), "pruning=false") {
+		t.Errorf("output does not record pruning flag:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "nope", 1_000, 0, true); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

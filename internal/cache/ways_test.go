@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"testing"
+
+	"dpbp/internal/isa"
+)
+
+// These tests cover the flattened way array (all sets back to back in
+// one slice) and the sizing rules: sets round UP to the next power of
+// two, and capacities below one full set are clamped up.
+
+// addrInSet returns the i-th distinct word address mapping to set 0 of a
+// cache whose geometry matches cfg after New's rounding.
+func addrInSet(cfg Config, i int) isa.Addr {
+	lineWords := cfg.LineWords
+	if lineWords <= 0 {
+		lineWords = 8
+	}
+	ways := cfg.Ways
+	if ways <= 0 {
+		ways = 1
+	}
+	size := cfg.SizeWords
+	if size < lineWords*ways {
+		size = lineWords * ways
+	}
+	sets := size / lineWords / ways
+	p := 1
+	for p < sets {
+		p *= 2
+	}
+	return isa.Addr(i * p * lineWords)
+}
+
+// TestSetsRoundUpToPowerOfTwo pins the non-power-of-two sizing rule via
+// observable conflict behaviour: with 6 lines over 2 ways the 3 raw sets
+// round up to 4, so exactly Ways lines alias into one set and the
+// (Ways+1)-th evicts the LRU line.
+func TestSetsRoundUpToPowerOfTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"non-pow2 sets 3->4", Config{SizeWords: 48, Ways: 2, LineWords: 8}},
+		{"pow2 sets", Config{SizeWords: 64, Ways: 2, LineWords: 8}},
+		{"direct mapped non-pow2", Config{SizeWords: 40, Ways: 1, LineWords: 8}},
+		{"clamped below one set", Config{SizeWords: 1, Ways: 2, LineWords: 8}},
+		{"defaulted line and ways", Config{SizeWords: 100}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ways := c.cfg.Ways
+			if ways <= 0 {
+				ways = 1
+			}
+			cc := New(c.cfg)
+			// Fill set 0 with exactly `ways` distinct aliasing lines.
+			for i := 0; i < ways; i++ {
+				if cc.Access(addrInSet(c.cfg, i)) {
+					t.Fatalf("cold access %d hit", i)
+				}
+			}
+			// All resident: re-access hits without evicting.
+			for i := 0; i < ways; i++ {
+				if !cc.Access(addrInSet(c.cfg, i)) {
+					t.Fatalf("warm access %d missed: set smaller than %d ways", i, ways)
+				}
+			}
+			// One more alias evicts exactly the LRU line (index 0 after
+			// the re-access order above).
+			if cc.Access(addrInSet(c.cfg, ways)) {
+				t.Fatal("conflicting access hit")
+			}
+			if cc.Probe(addrInSet(c.cfg, 0)) {
+				t.Error("LRU line survived the conflict fill")
+			}
+			for i := 1; i <= ways; i++ {
+				if !cc.Probe(addrInSet(c.cfg, i)) {
+					t.Errorf("non-LRU line %d was evicted", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEvictionOrderTrueLRU drives one 4-way set through a touch pattern
+// and checks the replacement victim is always the least recently used
+// way, across the flattened set boundary.
+func TestEvictionOrderTrueLRU(t *testing.T) {
+	cfg := Config{SizeWords: 4 * 8 * 4, Ways: 4, LineWords: 8}
+	c := New(cfg)
+	a := func(i int) isa.Addr { return addrInSet(cfg, i) }
+
+	for i := 0; i < 4; i++ {
+		c.Access(a(i)) // fill: LRU order 0,1,2,3
+	}
+	c.Access(a(0)) // LRU order 1,2,3,0
+	c.Access(a(2)) // LRU order 1,3,0,2
+	c.Access(a(4)) // evicts 1
+	if c.Probe(a(1)) {
+		t.Error("line 1 should be the victim")
+	}
+	c.Access(a(5)) // evicts 3
+	if c.Probe(a(3)) {
+		t.Error("line 3 should be the victim")
+	}
+	for _, i := range []int{0, 2, 4, 5} {
+		if !c.Probe(a(i)) {
+			t.Errorf("line %d evicted out of LRU order", i)
+		}
+	}
+}
+
+// TestInvalidFillsBeforeEviction checks victim selection prefers an
+// invalidated way over evicting a valid line.
+func TestInvalidFillsBeforeEviction(t *testing.T) {
+	cfg := Config{SizeWords: 2 * 8 * 2, Ways: 2, LineWords: 8}
+	c := New(cfg)
+	a := func(i int) isa.Addr { return addrInSet(cfg, i) }
+	c.Access(a(0))
+	c.Access(a(1))
+	c.Invalidate(a(0))
+	c.Access(a(2)) // must take the invalidated slot
+	if !c.Probe(a(1)) {
+		t.Error("valid line evicted while an invalid way was free")
+	}
+	if !c.Probe(a(2)) {
+		t.Error("fill after invalidate missing")
+	}
+}
+
+// TestNeighbouringSetsAreIsolated guards the flat ways[] indexing: heavy
+// traffic in one set must not disturb residency in the adjacent sets.
+func TestNeighbouringSetsAreIsolated(t *testing.T) {
+	cfg := Config{SizeWords: 8 * 8 * 2, Ways: 2, LineWords: 8}
+	c := New(cfg)
+	line := func(set, i int) isa.Addr { return isa.Addr((set + i*8) * 8) } // 8 sets
+	c.Access(line(1, 0))
+	c.Access(line(3, 0))
+	for i := 0; i < 32; i++ { // thrash set 2
+		c.Access(line(2, i))
+	}
+	if !c.Probe(line(1, 0)) || !c.Probe(line(3, 0)) {
+		t.Error("thrashing set 2 evicted lines from sets 1 or 3")
+	}
+}
+
+// TestResetClearsStaleLRUState pins Reset's full clear: victim selection
+// consults lru ticks before validity, so a reset cache must behave
+// exactly like a fresh one.
+func TestResetClearsStaleLRUState(t *testing.T) {
+	cfg := Config{SizeWords: 2 * 8 * 2, Ways: 2, LineWords: 8}
+	c := New(cfg)
+	a := func(i int) isa.Addr { return addrInSet(cfg, i) }
+	for i := 0; i < 8; i++ {
+		c.Access(a(i))
+	}
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatalf("stats survived Reset: %d/%d", c.Accesses, c.Misses)
+	}
+	fresh := New(cfg)
+	for _, i := range []int{0, 1, 0, 2, 1} {
+		if got, want := c.Access(a(i)), fresh.Access(a(i)); got != want {
+			t.Fatalf("access %d: reset cache %v, fresh cache %v", i, got, want)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package cpu
 
 import (
 	"dpbp/internal/bpred"
+	"dpbp/internal/emu"
 	"dpbp/internal/mem"
 	"dpbp/internal/obs"
 	"dpbp/internal/pathcache"
@@ -172,6 +173,15 @@ type Config struct {
 	// Builder constructs (including rebuilds). It is an observation
 	// hook for tooling; mutating the routine is not allowed.
 	OnBuild func(*uthread.Routine)
+
+	// OnRetire, if set, is invoked with every primary-thread
+	// instruction's architectural record, after the timing model has
+	// processed it. It is the observation point for differential
+	// verification (internal/oracle): the record describes exactly what
+	// the machine's internal emulator retired, so a lockstep reference
+	// emulator can diff the streams. The record is reused between calls
+	// and must not be retained; mutating it is not allowed.
+	OnRetire func(*emu.Record)
 
 	// Obs, if set, receives structured lifecycle events and occupancy
 	// samples from the run (see internal/obs). A nil tracer disables

@@ -323,6 +323,9 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 		}
 		m.res.Insts++
 		m.execute(&rec, fc)
+		if cfg.OnRetire != nil {
+			cfg.OnRetire(&rec)
+		}
 		if rec.Seq%64 == 0 {
 			m.predCache.Expire(rec.Seq)
 		}
@@ -340,6 +343,16 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 	out := m.res
 	return &out, ctx.Err()
 }
+
+// ArchRegs returns the architectural register file as of the last retired
+// instruction — the machine's internal emulator state. Valid after
+// RunContext returns, until the next Reset.
+func (m *Machine) ArchRegs() [isa.NumRegs]isa.Word { return m.em.Regs }
+
+// ArchMem appends the final architectural memory image (nonzero words,
+// ascending address order) to dst and returns it. Valid after RunContext
+// returns, until the next Reset.
+func (m *Machine) ArchMem(dst []emu.MemWord) []emu.MemWord { return m.em.Mem.Snapshot(dst) }
 
 func buildConfigOf(cfg Config) uthread.BuildConfig {
 	bc := uthread.DefaultBuildConfig(cfg.Pruning)

@@ -12,6 +12,7 @@ package emu
 
 import (
 	"fmt"
+	"sort"
 
 	"dpbp/internal/isa"
 	"dpbp/internal/program"
@@ -70,6 +71,38 @@ func (m *Memory) Store(addr isa.Addr, v isa.Word) {
 		m.lastAddr, m.lastPg = pn, pg
 	}
 	pg[addr&(1<<pageBits-1)] = v
+}
+
+// MemWord is one nonzero word of a memory image, as reported by Snapshot.
+type MemWord struct {
+	Addr isa.Addr
+	Val  isa.Word
+}
+
+// Snapshot appends every nonzero word of the memory to dst in ascending
+// address order and returns the extended slice. The order is independent
+// of page allocation history, so two memories with equal contents always
+// snapshot identically — which is what makes the snapshot comparable
+// across independently-run machines (differential verification diffs the
+// final memory image this way).
+func (m *Memory) Snapshot(dst []MemWord) []MemWord {
+	order := make([]int, len(m.pageAddrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return m.pageAddrs[order[a]] < m.pageAddrs[order[b]]
+	})
+	for _, i := range order {
+		base := m.pageAddrs[i] << pageBits
+		pg := m.pages[i]
+		for off, v := range pg {
+			if v != 0 {
+				dst = append(dst, MemWord{Addr: base + isa.Addr(off), Val: v})
+			}
+		}
+	}
+	return dst
 }
 
 // Record describes one retired dynamic instruction.

@@ -1,0 +1,133 @@
+package emu
+
+import (
+	"testing"
+
+	"dpbp/internal/isa"
+)
+
+// These tests cover the paged-slice memory with its one-entry last-page
+// cache: page-boundary addressing, the cache's alternation path, and the
+// allocation-order independence of Snapshot.
+
+const pageWords = 1 << pageBits
+
+func TestMemoryPageBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		addrs []isa.Addr
+	}{
+		{"first page edge", []isa.Addr{0, 1, pageWords - 1}},
+		{"page crossing", []isa.Addr{pageWords - 1, pageWords, pageWords + 1}},
+		{"far pages", []isa.Addr{0, 3 * pageWords, 7*pageWords - 1, 7 * pageWords}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := NewMemory()
+			for i, a := range c.addrs {
+				m.Store(a, isa.Word(1000+i))
+			}
+			for i, a := range c.addrs {
+				if got := m.Load(a); got != isa.Word(1000+i) {
+					t.Errorf("addr %d: got %d, want %d", a, got, 1000+i)
+				}
+			}
+			// Neighbours across the page boundary must be untouched.
+			for _, a := range c.addrs {
+				for _, n := range []isa.Addr{a - 1, a + 1} {
+					if contains(c.addrs, n) {
+						continue
+					}
+					if got := m.Load(n); got != 0 {
+						t.Errorf("neighbour %d of %d: got %d, want 0", n, a, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func contains(xs []isa.Addr, a isa.Addr) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMemoryLastPageCacheAlternation hammers the one-entry page cache by
+// alternating between pages, which forces the cache to miss and rescan on
+// every access; values must survive regardless.
+func TestMemoryLastPageCacheAlternation(t *testing.T) {
+	m := NewMemory()
+	a := isa.Addr(5)
+	b := isa.Addr(9*pageWords + 5)
+	c := isa.Addr(2*pageWords + 5)
+	for i := 0; i < 100; i++ {
+		m.Store(a, isa.Word(i))
+		m.Store(b, isa.Word(-i))
+		m.Store(c, isa.Word(i*3))
+		if m.Load(a) != isa.Word(i) || m.Load(b) != isa.Word(-i) || m.Load(c) != isa.Word(i*3) {
+			t.Fatalf("iteration %d: values lost while alternating pages", i)
+		}
+	}
+}
+
+func TestMemoryLoadUnwrittenIsZero(t *testing.T) {
+	m := NewMemory()
+	if got := m.Load(12345); got != 0 {
+		t.Errorf("load from untouched memory = %d", got)
+	}
+	m.Store(0, 7)
+	if got := m.Load(1); got != 0 { // same page, different word
+		t.Errorf("load of unwritten word on an existing page = %d", got)
+	}
+}
+
+// TestSnapshotOrderIndependent writes the same contents into two
+// memories with opposite page-allocation orders; the snapshots must be
+// identical, ascending, and contain only the nonzero words.
+func TestSnapshotOrderIndependent(t *testing.T) {
+	words := []MemWord{
+		{Addr: 3, Val: 30},
+		{Addr: pageWords + 1, Val: 11},
+		{Addr: 5*pageWords + 2, Val: 52},
+	}
+	forward, backward := NewMemory(), NewMemory()
+	for _, w := range words {
+		forward.Store(w.Addr, w.Val)
+	}
+	for i := len(words) - 1; i >= 0; i-- {
+		backward.Store(words[i].Addr, words[i].Val)
+	}
+	// A word stored then zeroed must not appear.
+	forward.Store(7, 1)
+	forward.Store(7, 0)
+	backward.Store(7, 1)
+	backward.Store(7, 0)
+
+	f := forward.Snapshot(nil)
+	b := backward.Snapshot(nil)
+	if len(f) != len(words) {
+		t.Fatalf("snapshot has %d words, want %d: %v", len(f), len(words), f)
+	}
+	for i := range f {
+		if f[i] != words[i] {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, f[i], words[i])
+		}
+		if f[i] != b[i] {
+			t.Errorf("snapshot order depends on allocation history: %+v vs %+v", f[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotAppends(t *testing.T) {
+	m := NewMemory()
+	m.Store(1, 2)
+	prefix := MemWord{Addr: 99, Val: 99}
+	got := m.Snapshot([]MemWord{prefix})
+	if len(got) != 2 || got[0] != prefix || got[1] != (MemWord{Addr: 1, Val: 2}) {
+		t.Errorf("Snapshot did not append: %v", got)
+	}
+}

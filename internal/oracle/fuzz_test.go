@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/runcache"
+	"dpbp/internal/synth"
+)
+
+// FuzzDifferentialRun is the open-ended form of the smoke suite: any
+// (seed, units) pair must generate a program whose architectural
+// behaviour is identical under the emulator and every timing ablation.
+// The per-execution budget is small so the engine explores many programs
+// per second; the 64-seed deterministic suite covers longer runs.
+func FuzzDifferentialRun(f *testing.F) {
+	f.Add(int64(1), uint64(4))
+	f.Add(int64(42), uint64(1))
+	f.Add(int64(-7), uint64(8))
+	f.Add(int64(1<<40), uint64(3))
+	f.Fuzz(func(t *testing.T, seed int64, units uint64) {
+		spec := synth.RandSpec{Seed: seed, Units: int(1 + units%8)}
+		prog := synth.RandomProgram(spec)
+		if err := Verify(prog, Options{MaxInsts: 6_000, Trace: true}); err != nil {
+			t.Fatalf("spec %v: %v", spec, err)
+		}
+	})
+}
+
+// fuzzCanonProg is the fixed program the canonicalization fuzzer runs;
+// built once, since program generation dwarfs the tiny runs.
+var fuzzCanonProg = synth.Random(1, 2)
+
+// FuzzConfigCanonical fuzzes configuration canonicalization: Canonical
+// must be idempotent, two canonically-equal configurations must produce
+// equal run-cache keys, and — the property the run cache's correctness
+// rests on — a run under c must be byte-identical to a run under
+// c.Canonical(), since both map to the same cache key.
+func FuzzConfigCanonical(f *testing.F) {
+	f.Add(uint64(3), uint64(10), false, false)
+	f.Add(uint64(0), uint64(0), true, true)
+	f.Add(uint64(2), uint64(513), true, false)
+	f.Fuzz(func(t *testing.T, modeBits, geom uint64, usePred, pruning bool) {
+		cfg := cpu.Config{
+			Mode:           cpu.Mode(modeBits % 4),
+			UsePredictions: usePred,
+			Pruning:        pruning,
+			AbortEnabled:   modeBits&4 != 0,
+			Throttle:       modeBits&8 != 0,
+			N:              int(geom % 17),         // 0 = default
+			WindowSize:     int(geom >> 4 % 700),   // includes non-pow2 sizes
+			PCacheEntries:  int(geom >> 12 % 200),  //
+			Microcontexts:  int(geom >> 18 % 33),   //
+			FetchWidth:     int(geom >> 24 % 20),   //
+			MaxInsts:       4_000 + geom>>32%4_000, //
+		}
+
+		canon := cfg.Canonical()
+		if again := canon.Canonical(); !reflect.DeepEqual(canon, again) {
+			t.Fatalf("Canonical not idempotent:\n%+v\nvs\n%+v", canon, again)
+		}
+		k1 := runcache.KeyOf("cpu", fuzzCanonProg.Fingerprint(), cfg.Canonical())
+		k2 := runcache.KeyOf("cpu", fuzzCanonProg.Fingerprint(), canon.Canonical())
+		if k1 != k2 {
+			t.Fatal("canonically equal configs produced different cache keys")
+		}
+
+		raw := cpu.Run(fuzzCanonProg, cfg)
+		cooked := cpu.Run(fuzzCanonProg, canon)
+		if !reflect.DeepEqual(raw, cooked) {
+			t.Fatalf("run(c) != run(c.Canonical()) — the run cache would serve wrong results:\nraw:    %+v\ncooked: %+v",
+				raw, cooked)
+		}
+	})
+}

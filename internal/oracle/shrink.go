@@ -1,0 +1,94 @@
+// Shrinking and repro persistence for failing random programs.
+//
+// The random generator emits each unit from its own (Seed, unit-index)
+// random stream, so omitting one unit leaves the rest of the program
+// byte-recognisable. Shrinking is therefore plain delta debugging over
+// the unit set: greedily drop any unit whose removal preserves the
+// failure, to a fixpoint. The minimal spec — not the program — is the
+// repro artifact: it regenerates the exact failing program from a few
+// integers.
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dpbp/internal/isa"
+	"dpbp/internal/synth"
+)
+
+// Shrink minimises a failing spec. failing must be deterministic and
+// return true for the input spec; the result is the smallest unit subset
+// (by greedy removal) that still fails. At least one unit is kept.
+func Shrink(spec synth.RandSpec, failing func(synth.RandSpec) bool) synth.RandSpec {
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < spec.Units && spec.IncludedUnits() > 1; u++ {
+			if spec.Omitted(u) {
+				continue
+			}
+			if cand := spec.Omitting(u); failing(cand) {
+				spec = cand
+				changed = true
+			}
+		}
+	}
+	return spec
+}
+
+// Repro is the serialised form of a failing trial: everything needed to
+// regenerate the program and re-run the verification.
+type Repro struct {
+	Seed     int64  `json:"seed"`
+	Units    int    `json:"units"`
+	Omit     []int  `json:"omit,omitempty"`
+	MaxInsts uint64 `json:"max_insts"`
+	Error    string `json:"error"`
+}
+
+// Spec returns the generator spec the repro describes.
+func (r Repro) Spec() synth.RandSpec {
+	return synth.RandSpec{Seed: r.Seed, Units: r.Units, Omit: r.Omit}
+}
+
+// WriteRepro writes the repro as <spec>.json plus a disassembly of the
+// regenerated program as <spec>.asm, creating dir if needed. It returns
+// the JSON path.
+func WriteRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := r.Spec().String()
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	jsonPath := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(jsonPath, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	prog := synth.RandomProgram(r.Spec())
+	asm := prog.Disassemble(0, isa.Addr(len(prog.Code)))
+	if err := os.WriteFile(filepath.Join(dir, name+".asm"), []byte(asm), 0o644); err != nil {
+		return "", err
+	}
+	return jsonPath, nil
+}
+
+// LoadRepro reads a repro written by WriteRepro.
+func LoadRepro(path string) (Repro, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Repro{}, err
+	}
+	var r Repro
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Repro{}, fmt.Errorf("oracle: bad repro %s: %w", path, err)
+	}
+	if r.Units <= 0 {
+		return Repro{}, fmt.Errorf("oracle: repro %s has no units", path)
+	}
+	return r, nil
+}

@@ -1,0 +1,156 @@
+// Stats-algebra invariants: the conservation laws a Result's counters
+// must satisfy after any run. Each law is derived from the model's code
+// paths (the relation is cited at each check), so a violation means a
+// counter was double-counted, skipped, or the model took an impossible
+// path — the cheap, always-on complement to the stream diff.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/obs"
+	"dpbp/internal/pathcache"
+	"dpbp/internal/pcache"
+)
+
+// CheckStats verifies the counter algebra of one run. cfg must be the
+// canonical (defaults-applied) configuration the run used.
+func CheckStats(res *cpu.Result, cfg cpu.Config) error {
+	var bad []string
+	chk := func(ok bool, format string, args ...any) {
+		if !ok {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+	ms := &res.Micro
+	pc := &res.PCache
+	ph := &res.PathCache
+
+	// Retirement stream totals.
+	chk(res.Branches <= res.Insts, "branches %d > insts %d", res.Branches, res.Insts)
+	chk(res.HWMispredicts <= res.Branches, "hw mispredicts %d > branches %d", res.HWMispredicts, res.Branches)
+	chk(res.Mispredicts <= res.Branches, "mispredicts %d > branches %d", res.Mispredicts, res.Branches)
+
+	// Spawning: every attempt is dropped by the prefix screen, dropped
+	// for lack of a microcontext, or spawned (trySpawns).
+	chk(ms.AttemptedSpawns == ms.PrefixMismatchDrops+ms.NoContextDrops+ms.Spawned,
+		"attempts %d != prefix drops %d + no-context drops %d + spawns %d",
+		ms.AttemptedSpawns, ms.PrefixMismatchDrops, ms.NoContextDrops, ms.Spawned)
+
+	// Microcontext lifecycle: spawned contexts complete, abort, or are
+	// still in flight at run end — and in-flight is bounded by the
+	// microcontext count.
+	chk(ms.Completed+ms.AbortedActive <= ms.Spawned,
+		"completions %d + aborts %d > spawns %d", ms.Completed, ms.AbortedActive, ms.Spawned)
+	if ms.Completed+ms.AbortedActive <= ms.Spawned {
+		inflight := ms.Spawned - ms.Completed - ms.AbortedActive
+		chk(inflight <= uint64(cfg.Microcontexts),
+			"%d contexts in flight at run end > %d microcontexts", inflight, cfg.Microcontexts)
+	}
+
+	// Delivery: every consumed prediction is classified exactly once
+	// (handleBranch), early deliveries are exactly the used predictions,
+	// and recoveries only arise from late deliveries.
+	chk(ms.Early+ms.Late+ms.Useless == pc.Hits,
+		"early %d + late %d + useless %d != prediction-cache hits %d",
+		ms.Early, ms.Late, ms.Useless, pc.Hits)
+	chk(ms.Early == ms.UsedPredictions, "early %d != used predictions %d", ms.Early, ms.UsedPredictions)
+	chk(ms.UsedPredictions == ms.CorrectUsed+ms.WrongUsed,
+		"used %d != correct %d + wrong %d", ms.UsedPredictions, ms.CorrectUsed, ms.WrongUsed)
+	chk(ms.UsedFixed <= ms.CorrectUsed, "fixed %d > correct used %d", ms.UsedFixed, ms.CorrectUsed)
+	chk(ms.UsedBroke <= ms.WrongUsed, "broke %d > wrong used %d", ms.UsedBroke, ms.WrongUsed)
+	chk(ms.EarlyRecoveries+ms.BogusRecoveries <= ms.Late,
+		"recoveries %d+%d > late deliveries %d", ms.EarlyRecoveries, ms.BogusRecoveries, ms.Late)
+
+	// Prediction Cache: the front end probes it once per retired
+	// terminating branch when predictions are in use; every entry that
+	// hit, expired, or was evicted was first installed by a
+	// non-overwriting write.
+	if cfg.Mode == cpu.ModeMicrothread && cfg.UsePredictions {
+		chk(pc.Hits+pc.Misses == res.Branches,
+			"pcache hits %d + misses %d != branches %d", pc.Hits, pc.Misses, res.Branches)
+	}
+	chk(pc.Overwrites <= pc.Writes, "pcache overwrites %d > writes %d", pc.Overwrites, pc.Writes)
+	if pc.Overwrites <= pc.Writes {
+		chk(pc.Hits+pc.Expired+pc.Evictions <= pc.Writes-pc.Overwrites,
+			"pcache hits %d + expired %d + evicted %d > installs %d",
+			pc.Hits, pc.Expired, pc.Evictions, pc.Writes-pc.Overwrites)
+	}
+
+	// Path Cache: observes split into hits and misses; misses split into
+	// allocations and avoided allocations; a replacement is an
+	// allocation; every counted demotion clears a bit a counted
+	// promotion set (replacement wipes the bit without counting, so
+	// promotions can only exceed demotions, never trail them).
+	chk(ph.Hits+ph.Misses <= res.Branches,
+		"path cache observes %d > branches %d", ph.Hits+ph.Misses, res.Branches)
+	chk(ph.Allocations+ph.AllocsAvoided == ph.Misses,
+		"path cache allocations %d + avoided %d != misses %d", ph.Allocations, ph.AllocsAvoided, ph.Misses)
+	chk(ph.Replacements <= ph.Allocations,
+		"path cache replacements %d > allocations %d", ph.Replacements, ph.Allocations)
+	chk(ph.Demotions <= ph.Promotions,
+		"path cache demotions %d > promotions %d", ph.Demotions, ph.Promotions)
+	chk(ph.DifficultCleared <= ph.DifficultSet,
+		"difficult cleared %d > set %d", ph.DifficultCleared, ph.DifficultSet)
+
+	// Builder.
+	chk(ms.Rebuilds <= res.Build.Builds, "rebuilds %d > builds %d", ms.Rebuilds, res.Build.Builds)
+	chk(res.Build.Builds <= res.Build.SizeSum || res.Build.Builds == 0,
+		"builds %d > size sum %d (empty routines?)", res.Build.Builds, res.Build.SizeSum)
+
+	// Modes without the microthread machinery must not touch it at all.
+	if cfg.Mode == cpu.ModeBaseline || cfg.Mode == cpu.ModePerfectAll || cfg.Mode == cpu.ModePerfectPromoted {
+		chk(res.Micro == (cpu.MicroStats{}), "micro stats nonzero in mode %v: %+v", cfg.Mode, res.Micro)
+		chk(res.PCache == (pcache.Stats{}), "prediction-cache stats nonzero in mode %v", cfg.Mode)
+	}
+	if cfg.Mode == cpu.ModeBaseline || cfg.Mode == cpu.ModePerfectAll {
+		chk(res.PathCache == (pathcache.Stats{}), "path-cache stats nonzero in mode %v", cfg.Mode)
+	}
+
+	if len(bad) > 0 {
+		return fmt.Errorf("stats invariants violated: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// CheckTrace reconciles an attached tracer's per-kind event counts with
+// the legacy statistics of the run it observed. Every emit site pairs
+// with exactly one counter increment, so all pairs must match exactly.
+func CheckTrace(tr *obs.Tracer, res *cpu.Result) error {
+	ms := &res.Micro
+	pairs := []struct {
+		kind obs.Kind
+		want uint64
+	}{
+		{obs.KindSpawnAttempt, ms.AttemptedSpawns},
+		{obs.KindSpawnDropPrefix, ms.PrefixMismatchDrops},
+		{obs.KindSpawnDropNoContext, ms.NoContextDrops},
+		{obs.KindSpawn, ms.Spawned},
+		{obs.KindAbortActive, ms.AbortedActive},
+		{obs.KindComplete, ms.Completed},
+		{obs.KindMemDepViolation, ms.MemDepViolations},
+		{obs.KindDeliveryEarly, ms.Early},
+		{obs.KindDeliveryLate, ms.Late},
+		{obs.KindDeliveryUseless, ms.Useless},
+		{obs.KindPCacheWrite, res.PCache.Writes},
+		{obs.KindPathReplace, res.PathCache.Replacements},
+		{obs.KindPathPromote, res.PathCache.Promotions},
+		{obs.KindPathDemote, res.PathCache.Demotions},
+		{obs.KindPathPromoteRejected, res.PathCache.PromotionsRejected},
+	}
+	var bad []string
+	for _, p := range pairs {
+		if got := tr.Count(p.kind); got != p.want {
+			bad = append(bad, fmt.Sprintf("trace.%v = %d, stats say %d", p.kind, got, p.want))
+		}
+	}
+	if got := tr.Count(obs.KindPathAlloc) + tr.Count(obs.KindPathReplace); got != res.PathCache.Allocations {
+		bad = append(bad, fmt.Sprintf("trace allocs+replaces = %d, stats say %d", got, res.PathCache.Allocations))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("trace counters do not reconcile: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}

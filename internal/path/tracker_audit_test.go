@@ -1,0 +1,61 @@
+package path
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpbp/internal/isa"
+)
+
+// TestTrackerIncrementalMatchesRecompute audits the incremental rolling
+// hash against the definitional recomputation: after every Observe, for
+// several path lengths (including ones where the total rotation 3n
+// exceeds 64 and wraps), ID(term) must equal Hash over the materialised
+// history. This pins the O(1) eviction identity
+// fold(x2..xk, t) = fold(x1..xk, t) XOR rotl(mix(x1), 3n mod 64)
+// that replaced the O(n) recomputation.
+func TestTrackerIncrementalMatchesRecompute(t *testing.T) {
+	terms := []isa.Addr{0, 1, 977, 1 << 20}
+	for _, n := range []int{1, 4, 10, 16, 21, 22, 64} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := NewTracker(n)
+		for i := 0; i < 300; i++ {
+			tr.Observe(TakenBranch{
+				PC:     isa.Addr(rng.Intn(1 << 16)),
+				Target: isa.Addr(rng.Intn(1 << 16)),
+			})
+			term := terms[i%len(terms)]
+			if got, want := tr.ID(term), Hash(tr.Branches(), term); got != want {
+				t.Fatalf("n=%d after %d observes, term %d: incremental ID %x != recomputed %x",
+					n, i+1, term, got, want)
+			}
+		}
+	}
+}
+
+// TestTrackerResetClearsRollingHash audits Reset mid-stream: a reset
+// tracker must behave exactly like a fresh one, i.e. the rolling hash
+// must not leak evicted history across the reset.
+func TestTrackerResetClearsRollingHash(t *testing.T) {
+	for _, n := range []int{1, 4, 22} {
+		rng := rand.New(rand.NewSource(7))
+		tr := NewTracker(n)
+		for i := 0; i < 2*n+3; i++ {
+			tr.Observe(TakenBranch{PC: isa.Addr(rng.Intn(1 << 16))})
+		}
+		tr.Reset()
+		fresh := NewTracker(n)
+		for i := 0; i < 2*n+3; i++ {
+			b := TakenBranch{PC: isa.Addr(rng.Intn(1 << 16)), Target: isa.Addr(i)}
+			tr.Observe(b)
+			fresh.Observe(b)
+			if got, want := tr.ID(99), fresh.ID(99); got != want {
+				t.Fatalf("n=%d: reset tracker ID %x != fresh tracker ID %x after %d observes",
+					n, got, want, i+1)
+			}
+		}
+		if tr.ID(99) != Hash(tr.Branches(), 99) {
+			t.Fatalf("n=%d: reset tracker diverges from recomputation", n)
+		}
+	}
+}
