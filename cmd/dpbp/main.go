@@ -236,6 +236,7 @@ func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.Metrics
 		reg.AddStruct(prefix+".pathcache", r.PathCache)
 		reg.AddStruct(prefix+".pcache", r.PCache)
 		reg.AddStruct(prefix+".build", r.Build)
+		reg.AddStruct(prefix+".pred", r.PredStats)
 	}
 	for _, s := range sections {
 		if f7, ok := s.val.(*dpbp.Figure7Result); ok {

@@ -1,8 +1,8 @@
 // Command dpbplint is the repository's invariant checker: a multichecker
 // that runs the internal/analysis suite — simdeterminism, configplumb,
-// counterwidth, errchecklite — over the module, alongside the standard
-// go vet passes. CI (and `make lint`) gate on its exit status; a clean
-// tree exits 0.
+// counterwidth, errchecklite, resetcomplete, statsdrift, specpurity —
+// over the module, alongside the standard go vet passes. CI (and
+// `make lint`) gate on its exit status; a clean tree exits 0.
 //
 // Usage:
 //
@@ -33,7 +33,10 @@ import (
 	"dpbp/internal/analysis/counterwidth"
 	"dpbp/internal/analysis/errchecklite"
 	"dpbp/internal/analysis/loader"
+	"dpbp/internal/analysis/resetcomplete"
 	"dpbp/internal/analysis/simdeterminism"
+	"dpbp/internal/analysis/specpurity"
+	"dpbp/internal/analysis/statsdrift"
 )
 
 // analyzers is the dpbplint suite, in reporting-priority order.
@@ -42,6 +45,9 @@ var analyzers = []*analysis.Analyzer{
 	configplumb.Analyzer,
 	counterwidth.Analyzer,
 	errchecklite.Analyzer,
+	resetcomplete.Analyzer,
+	statsdrift.Analyzer,
+	specpurity.Analyzer,
 }
 
 func main() {

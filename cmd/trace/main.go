@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpbp"
@@ -23,21 +24,29 @@ func main() {
 	n := flag.Uint64("n", 64, "number of dynamic instructions to trace")
 	flag.Parse()
 
-	w, err := dpbp.NewWorkload(*bench)
-	if err != nil {
+	if err := run(os.Stdout, *bench, *disasm, *n); err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
 	}
+}
 
-	if *disasm {
-		fmt.Printf("%s: %d instructions, entry @%d, %d data words\n\n",
-			w.Name, len(w.Program.Code), w.Program.Entry, len(w.Program.Data))
-		fmt.Print(w.Program.Disassemble(0, isa.Addr(len(w.Program.Code))))
-		return
+// run inspects one benchmark and writes the disassembly or trace to w. It
+// is the whole CLI behind flag parsing, so tests can drive it directly.
+func run(w io.Writer, bench string, disasm bool, n uint64) error {
+	wl, err := dpbp.NewWorkload(bench)
+	if err != nil {
+		return err
 	}
 
-	m := emu.New(w.Program)
-	m.Run(*n, func(r *emu.Record) bool {
+	if disasm {
+		fmt.Fprintf(w, "%s: %d instructions, entry @%d, %d data words\n\n",
+			wl.Name, len(wl.Program.Code), wl.Program.Entry, len(wl.Program.Data))
+		fmt.Fprint(w, wl.Program.Disassemble(0, isa.Addr(len(wl.Program.Code))))
+		return nil
+	}
+
+	m := emu.New(wl.Program)
+	m.Run(n, func(r *emu.Record) bool {
 		marker := " "
 		if r.Inst.IsBranch() {
 			if r.Taken {
@@ -46,14 +55,15 @@ func main() {
 				marker = "."
 			}
 		}
-		fmt.Printf("%6d %s %6d: %-28s", r.Seq, marker, r.PC, r.Inst)
+		fmt.Fprintf(w, "%6d %s %6d: %-28s", r.Seq, marker, r.PC, r.Inst)
 		if r.Inst.IsLoad() || r.Inst.IsStore() {
-			fmt.Printf(" ea=%d", r.EA)
+			fmt.Fprintf(w, " ea=%d", r.EA)
 		}
 		if _, ok := r.Inst.Writes(); ok {
-			fmt.Printf(" -> %d", r.DstVal)
+			fmt.Fprintf(w, " -> %d", r.DstVal)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		return true
 	})
+	return nil
 }

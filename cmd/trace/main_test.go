@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTracesDynamicStream(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, "li", false, 32); err != nil {
+		t.Fatalf("run(li) = %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 32 {
+		t.Fatalf("traced %d records, want 32:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], "0") {
+		t.Errorf("first record missing sequence number: %q", lines[0])
+	}
+}
+
+func TestRunDisassembles(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, "li", true, 0); err != nil {
+		t.Fatalf("run(li, disasm) = %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "instructions, entry @") {
+		t.Errorf("disassembly missing header:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Errorf("disassembly suspiciously short:\n%s", out)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, "nope", false, 8); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("failed run wrote output: %q", b.String())
+	}
+}

@@ -23,16 +23,18 @@ import (
 // Analyzer is the errcheck-lite pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "errchecklite",
-	Doc:  "flags ignored error returns in cmd/ and internal/exp",
+	Doc:  "flags ignored error returns in cmd/, internal/exp, and internal/analysis",
 	Run:  run,
 }
 
-// ScopeSuffixes are the import-path shapes the check covers.
+// ScopeSuffixes are the import-path shapes the check covers. The lint
+// suite analyzes itself: internal/analysis is in scope so a swallowed
+// loader or type-check error cannot silently blind the other analyzers.
 var (
 	// ScopeSubtrees match any package under the subtree.
-	ScopeSubtrees = []string{"cmd"}
+	ScopeSubtrees = []string{"cmd", "internal/analysis"}
 	// ScopePackages match exactly.
-	ScopePackages = []string{"internal/exp"}
+	ScopePackages = []string{"internal/exp", "internal/analysis"}
 )
 
 func inScope(path string) bool {

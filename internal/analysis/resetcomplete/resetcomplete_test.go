@@ -1,0 +1,13 @@
+package resetcomplete_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), resetcomplete.Analyzer,
+		"dpbp/internal/pool")
+}

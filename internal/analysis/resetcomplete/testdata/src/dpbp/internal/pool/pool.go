@@ -1,0 +1,74 @@
+// Package pool is a resetcomplete fixture mirroring the repo's pooled
+// simulator components: one type per handling shape, one seeded
+// violation, one waiver, and one clean type.
+package pool
+
+// Inner has its own Reset so Outer can handle it recursively.
+type Inner struct {
+	hist uint64
+}
+
+func (i *Inner) Reset() {
+	i.hist = 0
+}
+
+// Outer exercises every way a field can be handled — and one way it can
+// fail to be.
+type Outer struct {
+	dir     *Inner
+	index   map[uint64]int
+	free    []int
+	used    []bool
+	tick    uint64
+	cap     int //dpbp:reset-skip immutable capacity, fixed at construction
+	scratch []byte
+	stale   uint64 // want `field Outer.stale is not restored by \(\*Outer\).Reset`
+}
+
+func (o *Outer) Reset() {
+	o.dir.Reset()           // recursive Reset
+	clear(o.index)          // builtin clear
+	o.free = o.free[:0]     // re-slice assignment
+	for i := range o.used { // range + element write
+		o.used[i] = false
+	}
+	o.tick = 0              // plain assignment
+	fill(o.scratch)         // handed to a helper that rewrites it
+	_ = o.cap + len(o.free) // reads never count as handling
+	_ = o.stale             // nor here: stale is read, not restored
+}
+
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Sized's Reset takes parameters, like uthread.Builder's and the
+// machines'.
+type Sized struct {
+	n    int
+	data []int
+	mask uint64 // want `field Sized.mask is not restored by \(\*Sized\).Reset`
+}
+
+func (s *Sized) Reset(n int) {
+	s.n = n
+	s.data = make([]int, n)
+}
+
+// Clean handles everything; no diagnostics.
+type Clean struct {
+	a uint64
+	b []int
+}
+
+func (c *Clean) Reset() {
+	c.a = 0
+	clear(c.b)
+}
+
+// NoReset has no Reset method and is out of scope entirely.
+type NoReset struct {
+	leftAlone int
+}

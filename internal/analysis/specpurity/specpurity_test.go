@@ -1,0 +1,13 @@
+package specpurity_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/specpurity"
+)
+
+func TestSpecPurity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), specpurity.Analyzer,
+		"dpbp/internal/emu", "dpbp/internal/uthread", "dpbp/internal/cpu")
+}

@@ -1,0 +1,32 @@
+// Package cpu is a specpurity fixture for the annotation-driven roots:
+// only functions marked //dpbp:speculative are checked here.
+package cpu
+
+import "dpbp/internal/emu"
+
+// Spawn runs on behalf of a microthread and must stay pure — but calls
+// the memory mutator two hops down.
+//
+//dpbp:speculative
+func Spawn(m *emu.Machine) { // want `speculative cpu.Spawn reaches architectural mutator Memory.Store`
+	forward(m)
+}
+
+// forward is an unannotated helper on the speculative path.
+func forward(m *emu.Machine) {
+	m.Mem.Store(128, 7)
+}
+
+// Peek is speculative and clean: Load's bookkeeping write is waived.
+//
+//dpbp:speculative
+func Peek(m *emu.Machine) byte {
+	return m.Mem.Load(256)
+}
+
+// Commit is the primary thread's retirement path: it mutates
+// architectural state, and without the annotation that is fine.
+func Commit(m *emu.Machine) {
+	m.SetReg(3, 9)
+	m.Mem.Store(512, 1)
+}

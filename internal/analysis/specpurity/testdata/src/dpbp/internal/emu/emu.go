@@ -1,0 +1,42 @@
+// Package emu is a specpurity fixture stub of the architectural
+// emulator: the two arch types, a pure read path whose bookkeeping write
+// is waived, and the primitive mutators.
+package emu
+
+// Machine is the architectural machine state.
+type Machine struct {
+	Regs [4]uint64
+	Mem  *Memory
+}
+
+// SetReg writes the architectural register file — a primitive mutator.
+func (m *Machine) SetReg(i int, v uint64) {
+	m.Regs[i] = v
+}
+
+// Memory is paged architectural memory with a last-page lookup cache.
+type Memory struct {
+	pages  map[uint64][]byte
+	lastPn uint64
+	lastPg []byte
+}
+
+// Load reads a byte; its lookup-cache refresh is microarchitectural and
+// waived, so Load stays reachable from speculative code.
+func (m *Memory) Load(a uint64) byte {
+	pn := a >> 12
+	pg := m.pages[pn]
+	m.lastPn = pn //dpbp:nonarch last-page lookup cache, not architectural state
+	m.lastPg = pg //dpbp:nonarch last-page lookup cache, not architectural state
+	if pg == nil {
+		return 0
+	}
+	return pg[a&4095]
+}
+
+// Store writes a byte through a local alias of the page — the taint pass
+// must see pg as derived from the architectural receiver.
+func (m *Memory) Store(a uint64, v byte) {
+	pg := m.pages[a>>12]
+	pg[a&4095] = v
+}

@@ -1,0 +1,23 @@
+// Package uthread is a specpurity fixture: every function here is a
+// speculative root by package path. One is clean, one mutates directly,
+// one reaches a mutator through a call chain.
+package uthread
+
+import "dpbp/internal/emu"
+
+// Observe only reads architectural state (through the waived Load path)
+// and is clean.
+func Observe(m *emu.Machine) uint64 {
+	return m.Regs[0] + uint64(m.Mem.Load(64))
+}
+
+// Poison writes the register file directly.
+func Poison(m *emu.Machine) { // want `speculative uthread.Poison reaches architectural mutator uthread.Poison`
+	m.Regs[0] = 1
+}
+
+// Cascade reaches a mutator one hop away, through the emulator's own
+// SetReg.
+func Cascade(m *emu.Machine) { // want `speculative uthread.Cascade reaches architectural mutator Machine.SetReg`
+	m.SetReg(1, 2)
+}

@@ -1,0 +1,249 @@
+// Package statsdrift proves, at compile time, that the simulator's
+// statistics counters are both real and visible — the invariant PR 4
+// established by hand when it unified the scattered Stats structs into
+// the obs metrics registry. A counter drifts in two directions:
+//
+//   - Dead: a field of a Stats struct that nothing ever increments. It
+//     renders as an eternally-zero metric, silently misreporting the
+//     behaviour it claims to measure.
+//   - Invisible: a Stats struct (or field) that never reaches an
+//     obs.Registry.AddStruct registration, so its counts exist but the
+//     -metrics surface cannot show them — the exact class of bug PR 4
+//     fixed for the path-cache drop counters.
+//
+// Scope: every exported struct type whose name ends in "Stats", in any
+// module package. For each such struct the analyzer checks, module-wide:
+//
+//  1. Every integer field is written somewhere outside its own struct
+//     declaration (++, +=, =, or &field handed to a helper).
+//  2. The struct is reachable from some AddStruct call: either passed
+//     directly, or a field (recursively) of a struct that is. This
+//     mirrors AddStruct's own reflection walk, which recurses into
+//     exported struct-typed fields.
+//  3. Every exported field is of a kind AddStruct can render — integer
+//     kinds or a nested struct. Anything else (floats, bools, slices)
+//     silently vanishes from the registry.
+//
+// False positives (a struct that is deliberately test-only, say) are
+// suppressed the standard way, with //dpbplint:ignore statsdrift <why>
+// on the field or type line.
+package statsdrift
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dpbp/internal/analysis"
+)
+
+// Analyzer is the statsdrift pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "statsdrift",
+	Doc:       "flags Stats counters that are never incremented or never registered with the obs metrics registry",
+	RunModule: runModule,
+}
+
+// ObsPackage is the module-relative import path of the metrics registry
+// package; AddStruct calls on its Registry type seed registration
+// reachability.
+const ObsPackage = "internal/obs"
+
+// target is one Stats struct under scrutiny.
+type target struct {
+	obj  *types.TypeName
+	st   *types.Struct
+	pass *analysis.Pass
+}
+
+func runModule(mp *analysis.ModulePass) error {
+	targets := collectTargets(mp)
+	if len(targets) == 0 {
+		return nil
+	}
+	fieldOf := map[*types.Var]bool{}
+	for _, t := range targets {
+		for i := 0; i < t.st.NumFields(); i++ {
+			fieldOf[t.st.Field(i)] = true
+		}
+	}
+
+	written := writtenFields(mp, fieldOf)
+	registered := registeredStructs(mp)
+
+	for _, t := range targets {
+		name := t.obj.Pkg().Name() + "." + t.obj.Name()
+		if !registered[t.obj] {
+			mp.Reportf(t.obj.Pos(), "stats struct %s is never registered with the obs registry: pass it (or a struct containing it) to Registry.AddStruct so its counters reach -metrics", name)
+		}
+		for i := 0; i < t.st.NumFields(); i++ {
+			f := t.st.Field(i)
+			switch {
+			case !f.Exported():
+				mp.Reportf(f.Pos(), "field %s.%s is unexported, so Registry.AddStruct cannot see it; export it or move it out of the stats struct", name, f.Name())
+			case !addStructVisible(f.Type()):
+				mp.Reportf(f.Pos(), "field %s.%s has type %s, which Registry.AddStruct silently skips; use an integer kind or a nested stats struct", name, f.Name(), f.Type())
+			}
+			if isIntegerKind(f.Type()) && !written[f] {
+				mp.Reportf(f.Pos(), "counter %s.%s is never incremented anywhere in the module: it reports an eternal zero — wire it up or delete it", name, f.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// collectTargets finds every exported *Stats struct type, in package-
+// then-declaration order.
+func collectTargets(mp *analysis.ModulePass) []target {
+	var out []target
+	for _, pass := range mp.Passes {
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() { // Names is sorted
+			if !strings.HasSuffix(name, "Stats") {
+				continue
+			}
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() || tn.IsAlias() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			out = append(out, target{obj: tn, st: st, pass: pass})
+		}
+	}
+	return out
+}
+
+// writtenFields records every target field that some statement in the
+// module writes: ++/--, assignment (plain or compound), or address-taken
+// (handed to an accumulation helper).
+func writtenFields(mp *analysis.ModulePass, fieldOf map[*types.Var]bool) map[*types.Var]bool {
+	written := map[*types.Var]bool{}
+	markSel := func(pass *analysis.Pass, e ast.Expr) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if ok && fieldOf[v] {
+			written[v] = true
+		}
+	}
+	for _, pass := range mp.Passes {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					markSel(pass, n.X)
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						markSel(pass, lhs)
+					}
+				case *ast.UnaryExpr:
+					markSel(pass, n.X) // &s.Field: assume the taker writes it
+				}
+				return true
+			})
+		}
+	}
+	return written
+}
+
+// registeredStructs computes the set of struct types reachable from an
+// AddStruct registration, mirroring AddStruct's reflection walk: the
+// argument type itself, then recursively every exported struct-typed
+// field.
+func registeredStructs(mp *analysis.ModulePass) map[*types.TypeName]bool {
+	reg := map[*types.TypeName]bool{}
+	var absorb func(t types.Type)
+	absorb = func(t types.Type) {
+		for {
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || reg[named.Obj()] {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		reg[named.Obj()] = true
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // reflection skips unexported fields
+			}
+			if _, ok := f.Type().Underlying().(*types.Struct); ok {
+				absorb(f.Type())
+			}
+		}
+	}
+	for _, pass := range mp.Passes {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "AddStruct" {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || !isObsRegistryMethod(fn) {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok {
+					absorb(tv.Type)
+				}
+				return true
+			})
+		}
+	}
+	return reg
+}
+
+// isObsRegistryMethod reports whether fn is a method of the obs package's
+// Registry type.
+func isObsRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == ObsPackage || strings.HasSuffix(path, "/"+ObsPackage)
+}
+
+// addStructVisible reports whether AddStruct renders a field of this
+// type: integer kinds and nested structs, per its reflection switch.
+func addStructVisible(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0
+	case *types.Struct:
+		return true
+	}
+	return false
+}
+
+// isIntegerKind reports whether the type is a plain counter (the only
+// fields the dead-counter check applies to).
+func isIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,13 @@
+package statsdrift_test
+
+import (
+	"testing"
+
+	"dpbp/internal/analysis/analysistest"
+	"dpbp/internal/analysis/statsdrift"
+)
+
+func TestStatsDrift(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statsdrift.Analyzer,
+		"dpbp/internal/obs", "dpbp/internal/widget")
+}

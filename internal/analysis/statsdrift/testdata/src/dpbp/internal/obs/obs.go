@@ -1,0 +1,13 @@
+// Package obs is a statsdrift fixture stub: just enough Registry for the
+// analyzer to recognise AddStruct registrations.
+package obs
+
+// Registry mirrors the real obs.Registry surface the analyzer keys on.
+type Registry struct {
+	n int
+}
+
+// AddStruct registers a stats struct's fields.
+func (r *Registry) AddStruct(prefix string, stats any) {
+	r.n++
+}

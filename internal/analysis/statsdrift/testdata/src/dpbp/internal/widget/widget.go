@@ -1,0 +1,63 @@
+// Package widget is a statsdrift fixture: one clean registered struct,
+// one dead counter, one invisible field, one unexported field, one
+// orphaned struct, one struct registered only through nesting, and one
+// waived false positive.
+package widget
+
+import "dpbp/internal/obs"
+
+// Stats is registered directly (see Report) and mostly healthy.
+type Stats struct {
+	Hits   uint64
+	Misses uint64  // want `counter widget.Stats.Misses is never incremented`
+	Rate   float64 // want `field widget.Stats.Rate has type float64, which Registry.AddStruct silently skips`
+	hidden uint64  // want `field widget.Stats.hidden is unexported`
+}
+
+// InnerStats is never passed to AddStruct itself, but Wrapped carries it,
+// and AddStruct's reflection recurses into exported struct fields — so it
+// is registered by nesting and clean.
+type InnerStats struct {
+	Deep uint64
+}
+
+// WrappedStats is registered directly and carries InnerStats.
+type WrappedStats struct {
+	Inner InnerStats
+}
+
+// OrphanStats's counters tick but never reach the registry.
+type OrphanStats struct { // want `stats struct widget.OrphanStats is never registered with the obs registry`
+	Drops uint64
+}
+
+// ScratchStats is a deliberate non-metric aggregate; the standard ignore
+// directive waives the registration check.
+//
+//dpbplint:ignore statsdrift test-only scratch aggregate, not a metric
+type ScratchStats struct {
+	Runs uint64
+}
+
+// Widget owns the stats and increments them.
+type Widget struct {
+	s  Stats
+	o  OrphanStats
+	w  WrappedStats
+	sc ScratchStats
+}
+
+// Touch exercises every live counter.
+func (w *Widget) Touch() {
+	w.s.Hits++
+	w.s.hidden += 2
+	w.o.Drops++
+	w.w.Inner.Deep++
+	w.sc.Runs++
+}
+
+// Report registers the direct structs.
+func (w *Widget) Report(r *obs.Registry) {
+	r.AddStruct("widget", w.s)
+	r.AddStruct("wrapped", &w.w)
+}

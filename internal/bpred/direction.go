@@ -9,11 +9,11 @@ import "dpbp/internal/isa"
 type Gshare struct {
 	pht      []counter2
 	hist     uint64
-	histBits uint
-	mask     uint64
+	histBits uint   //dpbp:reset-skip sizing, fixed at construction
+	mask     uint64 //dpbp:reset-skip sizing, fixed at construction
 	// histShift positions the history against the PC in index:
 	// log2(len(pht)) - histBits, fixed at construction.
-	histShift uint
+	histShift uint //dpbp:reset-skip sizing, fixed at construction
 }
 
 // NewGshare returns a gshare predictor with entries counters (rounded up
@@ -64,9 +64,9 @@ func (g *Gshare) shift(taken bool) {
 type PAs struct {
 	localHist []uint16
 	pht       []counter2
-	histBits  uint
-	bhtMask   uint64
-	phtMask   uint64
+	histBits  uint   //dpbp:reset-skip sizing, fixed at construction
+	bhtMask   uint64 //dpbp:reset-skip sizing, fixed at construction
+	phtMask   uint64 //dpbp:reset-skip sizing, fixed at construction
 }
 
 // NewPAs returns a PAs predictor with phtEntries second-level counters and
@@ -123,7 +123,7 @@ type Hybrid struct {
 	G        *Gshare
 	P        *PAs
 	selector []counter2
-	selMask  uint64
+	selMask  uint64 //dpbp:reset-skip sizing, fixed at construction
 }
 
 // NewHybrid builds the Table 3 configuration scaled by the given sizes.

@@ -6,10 +6,10 @@ import "dpbp/internal/isa"
 // taken-path target of direct branches so the front end can redirect
 // without waiting for decode.
 type BTB struct {
-	tags    []isa.Addr
-	targets []isa.Addr
+	tags    []isa.Addr //dpbp:reset-skip stale entries are gated by valid, which Reset clears
+	targets []isa.Addr //dpbp:reset-skip stale entries are gated by valid, which Reset clears
 	valid   []bool
-	mask    uint64
+	mask    uint64 //dpbp:reset-skip sizing, fixed at construction
 }
 
 // NewBTB returns a BTB with entries slots (rounded up to a power of two).
@@ -41,9 +41,9 @@ func (b *BTB) Update(pc, target isa.Addr) {
 // RAS is the return-address stack. Push on calls, pop on returns. On
 // overflow the oldest entry is overwritten (circular), as in real designs.
 type RAS struct {
-	stack []isa.Addr
-	top   int // index of next push
-	depth int // live entries, <= len(stack)
+	stack []isa.Addr //dpbp:reset-skip stale entries are gated by depth, which Reset zeroes
+	top   int        // index of next push
+	depth int        // live entries, <= len(stack)
 }
 
 // NewRAS returns a RAS with the given capacity.
@@ -81,10 +81,10 @@ func (r *RAS) Depth() int { return r.depth }
 // PC and the recent taken-target history (a small path signature), which
 // lets it distinguish dynamic instances of the same indirect jump.
 type TargetCache struct {
-	targets []isa.Addr
+	targets []isa.Addr //dpbp:reset-skip stale entries are gated by valid, which Reset clears
 	valid   []bool
 	hist    uint64
-	mask    uint64
+	mask    uint64 //dpbp:reset-skip sizing, fixed at construction
 }
 
 // NewTargetCache returns a target cache with entries slots (rounded up to

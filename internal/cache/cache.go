@@ -19,14 +19,14 @@ type Config struct {
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	cfg  Config
-	sets int
+	cfg  Config //dpbp:reset-skip geometry, fixed at construction
+	sets int    //dpbp:reset-skip geometry, fixed at construction
 	// ways holds all sets back to back: set s occupies
 	// ways[s*cfg.Ways : (s+1)*cfg.Ways]. One flat allocation keeps a
 	// whole set on one or two cache lines for the probe loop.
 	ways     []way
 	tick     uint64
-	lineBits uint
+	lineBits uint //dpbp:reset-skip geometry, fixed at construction
 
 	// Stats.
 	Accesses uint64

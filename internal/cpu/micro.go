@@ -43,6 +43,8 @@ type mctx struct {
 // instruction about to be fetched at pc (sequence number seq, fetch cycle
 // fc). Spawns that cannot get a microcontext are dropped — the paper's
 // "aborted before allocating a microcontext" bucket.
+//
+//dpbp:speculative
 func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 	if !m.uram.HasSpawn(pc) {
 		return // dense probe; skips the map lookup on the common path
@@ -88,6 +90,8 @@ func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 
 // prefixMatches reports whether the front end's recent taken-branch
 // history ends with the given prefix.
+//
+//dpbp:speculative
 func (m *Machine) prefixMatches(prefix []isa.Addr) bool {
 	n := uint64(len(prefix))
 	if n == 0 {
@@ -106,6 +110,8 @@ func (m *Machine) prefixMatches(prefix []isa.Addr) bool {
 
 // freeContext returns the index of the lowest-numbered free microcontext,
 // or -1 when all are active.
+//
+//dpbp:speculative
 func (m *Machine) freeContext() int {
 	if m.activeCtxs == len(m.ctxs) {
 		return -1
@@ -122,12 +128,15 @@ func (m *Machine) freeContext() int {
 
 // activate and deactivate keep the active count and bitmask in sync with
 // ctxs[i].active; every transition goes through them.
+//
+//dpbp:speculative
 func (m *Machine) activate(i int) {
 	m.ctxs[i].active = true
 	m.activeCtxs++
 	m.activeBits[i>>6] |= 1 << (i & 63)
 }
 
+//dpbp:speculative
 func (m *Machine) deactivate(i int) {
 	m.ctxs[i].active = false
 	m.activeCtxs--
@@ -137,6 +146,8 @@ func (m *Machine) deactivate(i int) {
 // spawn allocates a microcontext, functionally executes the routine
 // against the primary thread's architectural state at the spawn point, and
 // schedules its instructions through the shared execution resources.
+//
+//dpbp:speculative
 func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 	ctx := &m.ctxs[ci]
 	m.res.Micro.Spawned++
@@ -246,6 +257,8 @@ func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 // renamer's reassignment after recovery; the resulting contexts are
 // monitored against the correct-path stream and abort on its first
 // deviation from their expected path.
+//
+//dpbp:speculative
 func (m *Machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 	limit := m.cfg.RedirectPenalty * m.cfg.FetchWidth / 2
 	if limit > 64 {
@@ -275,6 +288,8 @@ func (m *Machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 // monitorContexts advances every active microcontext past the fetched
 // instruction rec: memory-dependence violation detection, completion at
 // the target branch, and the Path_History abort check on taken branches.
+//
+//dpbp:speculative
 func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 	for w, bw := range m.activeBits {
 		for bw != 0 {
@@ -321,6 +336,8 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 // predicted path: unexecuted instructions are refunded from the resource
 // calendars (instructions already in the window cannot be aborted, per
 // Section 4.3.2), and an undelivered prediction is cancelled.
+//
+//dpbp:speculative
 func (m *Machine) abortContext(ci int, fc uint64) {
 	ctx := &m.ctxs[ci]
 	m.res.Micro.AbortedActive++
@@ -342,6 +359,8 @@ func (m *Machine) abortContext(ci int, fc uint64) {
 }
 
 // watchContains reports whether the sorted watch list holds ea.
+//
+//dpbp:speculative
 func watchContains(watch []isa.Addr, ea isa.Addr) bool {
 	_, ok := slices.BinarySearch(watch, ea)
 	return ok

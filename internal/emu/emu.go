@@ -44,7 +44,7 @@ func (m *Memory) page(pn isa.Addr) *[1 << pageBits]isa.Word {
 	}
 	for i, a := range m.pageAddrs {
 		if a == pn {
-			m.lastAddr, m.lastPg = pn, m.pages[i]
+			m.lastAddr, m.lastPg = pn, m.pages[i] //dpbp:nonarch last-page lookup cache, not architectural state
 			return m.lastPg
 		}
 	}

@@ -54,7 +54,7 @@ func DefaultConfig() Config {
 
 // System is the data-memory hierarchy.
 type System struct {
-	cfg      Config
+	cfg      Config //dpbp:reset-skip configuration, fixed at construction
 	L1       *cache.Cache
 	L2       *cache.Cache
 	bankFree []uint64 // next free cycle per DRAM bank

@@ -62,9 +62,9 @@ func Hash(branches []TakenBranch, term isa.Addr) ID {
 // first (the path is the n taken branches *prior* to the branch), then
 // Observe it if it was taken.
 type Tracker struct {
-	n    int
-	ring []TakenBranch
-	head int // index of oldest entry
+	n    int           //dpbp:reset-skip path length, fixed at construction
+	ring []TakenBranch //dpbp:reset-skip stale entries are gated by cnt, which Reset zeroes
+	head int           // index of oldest entry
 	cnt  int
 
 	// h is the rolling hash of the current window, maintained
@@ -72,7 +72,7 @@ type Tracker struct {
 	// linear over GF(2) — fold(x1..xk) = XOR of rotl(mix(xi), 3*(k-i)) —
 	// so evicting the oldest entry is XORing out rotl(mix(x1), rotN).
 	h    uint64
-	rotN int // 3*n mod 64: total rotation an entry accrues over n steps
+	rotN int //dpbp:reset-skip 3*n mod 64, fixed at construction
 }
 
 // NewTracker returns a tracker for paths of length n.

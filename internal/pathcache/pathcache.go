@@ -83,9 +83,9 @@ type entry struct {
 
 // Cache is the Path Cache.
 type Cache struct {
-	cfg  Config
+	cfg  Config //dpbp:reset-skip configuration, fixed at construction
 	sets [][]entry
-	mask uint64
+	mask uint64 //dpbp:reset-skip geometry, fixed at construction
 	tick uint64
 
 	Stats Stats

@@ -12,4 +12,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.Stats = Stats{}
+	// A tracer wired by a previous run must not leak events into the
+	// next one; the owner re-attaches its own after Reset.
+	c.Trace = nil
 }

@@ -1,0 +1,26 @@
+package pathcache
+
+import (
+	"testing"
+
+	"dpbp/internal/obs"
+)
+
+// TestResetDetachesTracer is the regression test for a leaked trace hook:
+// a tracer wired for one run must not receive the next run's events
+// through a reset cache. The owner (the timing core) re-attaches its own
+// tracer after Reset.
+func TestResetDetachesTracer(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Trace = obs.NewTracer()
+
+	c.Observe(42, true)
+	c.Reset()
+
+	if c.Trace != nil {
+		t.Fatal("tracer survived Reset: events would leak into the next run")
+	}
+	if c.Stats != (Stats{}) {
+		t.Fatalf("stats survived Reset: %+v", c.Stats)
+	}
+}

@@ -44,8 +44,8 @@ type Stats struct {
 
 // Cache is the Prediction Cache.
 type Cache struct {
-	cap     int
-	entries []Entry
+	cap     int     //dpbp:reset-skip capacity, fixed at construction
+	entries []Entry //dpbp:reset-skip stale entries are gated by used, which Reset clears
 	used    []bool
 	free    []int
 	index   map[key]int

@@ -13,7 +13,7 @@ import (
 // path unpromoted and retries later, by which time demotions may have
 // freed space.
 type MicroRAM struct {
-	cap      int
+	cap      int //dpbp:reset-skip capacity, fixed at construction
 	routines map[path.ID]*Routine
 	bySpawn  map[isa.Addr][]*Routine
 	rebuild  map[path.ID]bool

@@ -26,7 +26,7 @@ type PRBEntry struct {
 // instructions (the paper uses i = 512). Entries are addressed by their
 // dynamic sequence number.
 type PRB struct {
-	buf  []PRBEntry
+	buf  []PRBEntry //dpbp:reset-skip stale entries are gated by size, which Reset zeroes
 	size int
 	// next is the sequence number the next pushed entry must carry;
 	// enforcing contiguity keeps BySeq O(1).

@@ -14,6 +14,10 @@ func (m *MicroRAM) Reset() {
 	clear(m.routines)
 	clear(m.bySpawn)
 	clear(m.rebuild)
+	// Drop the dense spawn index: it is sized for the previous program's
+	// code image, and a stale one would answer HasSpawn against the wrong
+	// addresses. The owner calls IndexCode for the next program.
+	m.spawnCnt = nil
 	m.Installs = 0
 	m.Refusals = 0
 	m.Removals = 0

@@ -47,8 +47,8 @@ type entry struct {
 // Predictor is a last-value/stride predictor with confidence.
 type Predictor struct {
 	entries []entry
-	mask    uint64
-	cfg     Config
+	mask    uint64 //dpbp:reset-skip sizing, fixed at construction
+	cfg     Config //dpbp:reset-skip configuration, fixed at construction
 
 	// Stats.
 	Trains     uint64
