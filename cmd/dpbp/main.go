@@ -2,11 +2,12 @@
 //
 // Usage:
 //
-//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|guided|ablations|all [flags]
+//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|guided|ablations|shootout|all [flags]
 //
 // Flags:
 //
 //	-bench comp,gcc,...   benchmarks to run (default: all twenty)
+//	-bpred NAME           direction-predictor backend (hybrid, h2p, tage; default hybrid)
 //	-format text|json|csv output format (default text)
 //	-insts N              timing-run instruction budget (0 = library default)
 //	-profinsts N          profiling-run instruction budget (0 = library default)
@@ -38,6 +39,14 @@
 // the cache so the events are always replayed. -metrics appends a
 // "metrics" section — the scattered statistics structs unified into one
 // named counter/histogram registry — rendered in whatever -format says.
+//
+// -bpred swaps the direction predictor every timing run uses (the
+// registry in internal/bpred; default "hybrid", the paper's gshare/PAs
+// machine). -exp shootout instead varies the backend itself, pitting
+// every registered backend and the H2P-gated microthread variant against
+// the hybrid baseline; it ignores -bpred's name but is not part of
+// "all" (its runs would double the budget without reproducing a paper
+// figure).
 package main
 
 import (
@@ -56,8 +65,9 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, all")
+	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, shootout, all")
 	bench := flag.String("bench", "", "comma-separated benchmark names (default: all)")
+	bpredName := flag.String("bpred", "", "direction-predictor backend: "+strings.Join(dpbp.PredictorBackends(), ", ")+" (default hybrid)")
 	format := flag.String("format", "", "output format: text, json, csv (default text)")
 	insts := flag.Uint64("insts", 0, "timing-run instruction budget (0 = library default)")
 	profInsts := flag.Uint64("profinsts", 0, "profiling-run instruction budget (0 = library default)")
@@ -71,7 +81,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	os.Exit(mainExit(*expName, *bench, *format, *insts, *profInsts, *jobs, *par,
+	os.Exit(mainExit(*expName, *bench, *bpredName, *format, *insts, *profInsts, *jobs, *par,
 		*timeout, *noCache, obsOpts{traceFile: *traceFile, metrics: *metrics},
 		*cpuProfile, *memProfile))
 }
@@ -90,7 +100,7 @@ func (o obsOpts) enabled() bool { return o.traceFile != "" || o.metrics }
 
 // mainExit is main minus os.Exit, so profile writers run via defer before
 // the process terminates.
-func mainExit(expName, bench, format string, insts, profInsts uint64, jobs, par int,
+func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64, jobs, par int,
 	timeout time.Duration, noCache bool, oo obsOpts, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -136,12 +146,17 @@ func mainExit(expName, bench, format string, insts, profInsts uint64, jobs, par 
 	if jobs == 0 {
 		jobs = par
 	}
+	if err := checkBackend(bpredName); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbp:", err)
+		return 1
+	}
 	opts := dpbp.ExperimentOptions{
 		Benchmarks:   parseBenchList(bench),
 		TimingInsts:  insts,
 		ProfileInsts: profInsts,
 		Parallelism:  jobs,
 	}
+	opts.BPred.Name = bpredName
 	if !noCache {
 		opts.Cache = dpbp.NewRunCache()
 	}
@@ -237,6 +252,7 @@ func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.Metrics
 		reg.AddStruct(prefix+".pcache", r.PCache)
 		reg.AddStruct(prefix+".build", r.Build)
 		reg.AddStruct(prefix+".pred", r.PredStats)
+		reg.AddStruct(prefix+".backend", r.Backend)
 	}
 	for _, s := range sections {
 		if f7, ok := s.val.(*dpbp.Figure7Result); ok {
@@ -255,6 +271,20 @@ func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.Metrics
 		opts.Trace.AddTo(reg)
 	}
 	return reg
+}
+
+// checkBackend rejects unknown -bpred names before any experiment runs;
+// empty means the default (hybrid).
+func checkBackend(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, b := range dpbp.PredictorBackends() {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown predictor backend %q (have %v)", name, dpbp.PredictorBackends())
 }
 
 // checkFormat rejects unknown formats before any experiment runs.
@@ -304,6 +334,9 @@ func collect(ctx context.Context, name string, opts dpbp.ExperimentOptions) ([]s
 	case "ablations":
 		v, err := dpbp.Ablations(ctx, opts)
 		return one("ablations", v, err)
+	case "shootout":
+		v, err := dpbp.Shootout(ctx, opts)
+		return one("shootout", v, err)
 	case "all":
 		var out []section
 		t1, err := dpbp.Table1(ctx, opts)

@@ -226,6 +226,155 @@ func TestRunObsMetricsText(t *testing.T) {
 	}
 }
 
+// TestRunAllGolden pins the text output of -exp all for two benchmarks
+// byte-for-byte against a file generated before the predictor-backend
+// registry existed. It is the refactor's acceptance check: the default
+// (zero) PredictorSpec must reproduce the original gshare/PAs hybrid
+// exactly — same predictions, same counters, same rendering.
+func TestRunAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	opts := dpbp.ExperimentOptions{
+		Benchmarks:   []string{"comp", "gcc"},
+		TimingInsts:  60_000,
+		ProfileInsts: 60_000,
+		Cache:        dpbp.NewRunCache(),
+	}
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "all", "", opts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b.Bytes(), want) {
+		return
+	}
+	gotLines := strings.Split(b.String(), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("output diverges from testdata/golden_all.txt at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("output differs from golden (length mismatch only)")
+}
+
+func TestCheckBackend(t *testing.T) {
+	for _, name := range append([]string{""}, dpbp.PredictorBackends()...) {
+		if err := checkBackend(name); err != nil {
+			t.Errorf("checkBackend(%q) = %v", name, err)
+		}
+	}
+	if err := checkBackend("nope"); err == nil || !strings.Contains(err.Error(), "unknown predictor backend") {
+		t.Errorf("checkBackend(nope) = %v", err)
+	}
+}
+
+// TestRunShootoutJSON is the CI smoke test for the backend arena: a tiny
+// shootout must emit one valid JSON document whose configs, rows, and
+// geomeans are parallel and include the microthread+TAGE contender.
+func TestRunShootoutJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "shootout", "json", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Configs []string `json:"configs"`
+		Rows    []struct {
+			Bench string `json:"bench"`
+			Cells []struct {
+				IPC           float64 `json:"ipc"`
+				Speedup       float64 `json:"speedup"`
+				MispredictPct float64 `json:"mispredict_pct"`
+			} `json:"cells"`
+		} `json:"rows"`
+		Geomean []float64 `json:"geomean"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Configs) < 4 {
+		t.Fatalf("shootout has %d configs, want >= 4: %v", len(doc.Configs), doc.Configs)
+	}
+	want := map[string]bool{"hybrid": false, "tage": false, "uthread+tage": false}
+	for _, c := range doc.Configs {
+		if _, ok := want[c]; ok {
+			want[c] = true
+		}
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Errorf("shootout configs %v missing %q", doc.Configs, c)
+		}
+	}
+	if len(doc.Geomean) != len(doc.Configs) {
+		t.Errorf("geomean length %d, configs %d", len(doc.Geomean), len(doc.Configs))
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].Bench != "comp" {
+		t.Fatalf("unexpected rows: %s", b.String())
+	}
+	cells := doc.Rows[0].Cells
+	if len(cells) != len(doc.Configs) {
+		t.Fatalf("row has %d cells, %d configs", len(cells), len(doc.Configs))
+	}
+	if cells[0].Speedup != 1 {
+		t.Errorf("reference speedup = %v, want 1", cells[0].Speedup)
+	}
+	for i, c := range cells {
+		if c.IPC <= 0 {
+			t.Errorf("config %q: IPC = %v", doc.Configs[i], c.IPC)
+		}
+	}
+}
+
+func TestRunShootoutTextAndCSV(t *testing.T) {
+	var txt bytes.Buffer
+	if err := run(context.Background(), &txt, "shootout", "", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Shootout", "uthread+tage", "Geomean"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("shootout text missing %q:\n%s", want, txt.String())
+		}
+	}
+	var csvOut bytes.Buffer
+	if err := run(context.Background(), &csvOut, "shootout", "csv", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "bench,config,") {
+		t.Errorf("unexpected shootout CSV:\n%s", csvOut.String())
+	}
+}
+
+// TestRunBPredFlagChangesRuns exercises the -bpred plumbing end to end:
+// a TAGE-backed fig7 run must succeed and differ from the default's
+// output (different predictor, different timings).
+func TestRunBPredFlagChangesRuns(t *testing.T) {
+	var def, tage bytes.Buffer
+	if err := run(context.Background(), &def, "fig7", "", tiny()); err != nil {
+		t.Fatal(err)
+	}
+	opts := tiny()
+	opts.BPred.Name = dpbp.BackendTAGE
+	if err := run(context.Background(), &tage, "fig7", "", opts); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() == tage.String() {
+		t.Error("-bpred tage produced byte-identical fig7 output")
+	}
+}
+
 func keysOf(m map[string]json.RawMessage) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -114,6 +114,44 @@ func TestRunCacheByteDeterminism(t *testing.T) {
 	}
 }
 
+// TestBackendByteDeterminism extends the bit-determinism contract to
+// every registered predictor backend and the shootout arena: identical
+// runs under each backend must yield structurally identical Results,
+// and the shootout must render the same bytes twice.
+func TestBackendByteDeterminism(t *testing.T) {
+	w := dpbp.MustWorkload("gcc")
+	for _, name := range dpbp.PredictorBackends() {
+		cfg := dpbp.DefaultConfig()
+		cfg.MaxInsts = 30_000
+		cfg.BPred.Name = name
+		r1 := dpbp.Run(w, cfg)
+		r2 := dpbp.Run(w, cfg)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("backend %q: identical runs diverged", name)
+		}
+	}
+
+	first := shootoutBytes(t)
+	if second := shootoutBytes(t); first != second {
+		t.Errorf("shootout output differs between identical runs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func shootoutBytes(t *testing.T) string {
+	t.Helper()
+	o := detOptions()
+	o.Benchmarks = []string{"gcc"}
+	res, err := dpbp.Shootout(context.Background(), o)
+	if err != nil {
+		t.Fatalf("Shootout: %v", err)
+	}
+	s, err := dpbp.Text(res)
+	if err != nil {
+		t.Fatalf("Text: %v", err)
+	}
+	return s
+}
+
 func table1Bytes(t *testing.T) string {
 	t.Helper()
 	res, err := dpbp.Table1(context.Background(), detOptions())

@@ -21,6 +21,7 @@
 package dpbp
 
 import (
+	"dpbp/internal/bpred"
 	"dpbp/internal/cpu"
 	"dpbp/internal/pathprof"
 	"dpbp/internal/program"
@@ -123,6 +124,24 @@ const (
 // statistics surface (IPC, mispredictions, spawn/abort counts, timeliness,
 // builder and Prediction Cache statistics).
 type Result = cpu.Result
+
+// PredictorSpec selects and sizes the direction-predictor backend of a
+// timing run (MachineConfig.BPred). The zero value is the paper's
+// gshare/PAs hybrid; see PredictorBackends for the available names.
+type PredictorSpec = bpred.Spec
+
+// Registered predictor-backend names for PredictorSpec.Name.
+const (
+	// BackendHybrid is the paper's gshare/PAs hybrid (the default).
+	BackendHybrid = bpred.BackendHybrid
+	// BackendTAGE is a TAGE-style tagged geometric-history predictor.
+	BackendTAGE = bpred.BackendTAGE
+	// BackendH2P layers a hard-to-predict side predictor over the hybrid.
+	BackendH2P = bpred.BackendH2P
+)
+
+// PredictorBackends returns the registered backend names, sorted.
+func PredictorBackends() []string { return bpred.Backends() }
 
 // DefaultConfig returns the paper's Figure 7 "pruning" machine: the full
 // mechanism with n=10, T=.10, and pruning enabled.

@@ -177,3 +177,15 @@ type AblationResult = exp.AblationResult
 func Ablations(ctx context.Context, o ExperimentOptions) (*AblationResult, error) {
 	return exp.Ablations(ctx, o)
 }
+
+// ShootoutResult holds the predictor-backend arena: per benchmark, IPC,
+// speedup over the hybrid baseline, and misprediction rate for every
+// contending configuration.
+type ShootoutResult = exp.ShootoutResult
+
+// Shootout pits the predictor backends (hybrid, TAGE, H2P side
+// predictor) against the microthread machinery, including an H2P-gated
+// microthread variant.
+func Shootout(ctx context.Context, o ExperimentOptions) (*ShootoutResult, error) {
+	return exp.Shootout(ctx, o)
+}

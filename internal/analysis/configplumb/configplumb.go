@@ -2,12 +2,13 @@
 // is actually plumbed through to behaviour, in two directions:
 //
 //   - Unread fields (module-wide): a field of any package-level struct
-//     type named Config that is never read outside config plumbing
-//     (DefaultConfig/withDefaults-style functions) is dead weight — an
-//     experiment could "configure" it and silently change nothing. Reads
-//     are selector or composite-literal uses that are not assignment
-//     targets; the plumbing functions are excluded so a field that is
-//     only defaulted and copied, never consulted, still gets flagged.
+//     type named Config or Spec that is never read outside config
+//     plumbing (DefaultConfig/withDefaults/Canonical-style functions) is
+//     dead weight — an experiment could "configure" it and silently
+//     change nothing. Reads are selector or composite-literal uses that
+//     are not assignment targets; the plumbing functions are excluded so
+//     a field that is only defaulted and copied, never consulted, still
+//     gets flagged.
 //
 //   - Magic numbers (per package): an integer literal elsewhere in a
 //     package that equals one of that package's distinctive Default*
@@ -43,10 +44,18 @@ var Analyzer = &analysis.Analyzer{
 const MinMagic = 100
 
 // isPlumbingFunc reports whether reads inside the named function are
-// config plumbing rather than behaviour.
+// config plumbing rather than behaviour. Canonical counts: it copies
+// fields between defaulted and spelled-out forms without consulting
+// them, exactly like withDefaults.
 func isPlumbingFunc(name string) bool {
-	return name == "withDefaults" || strings.HasPrefix(name, "Default")
+	return name == "withDefaults" || name == "Canonical" || strings.HasPrefix(name, "Default")
 }
+
+// configStructNames are the package-level struct type names whose fields
+// the unread-field pass tracks. Spec joined Config with the predictor-
+// backend registry: a bpred.Spec field that nothing reads is as dead as
+// an unread Config knob.
+var configStructNames = []string{"Config", "Spec"}
 
 // --- module pass: unread Config fields -------------------------------
 
@@ -55,26 +64,30 @@ type fieldUse struct {
 }
 
 func runUnread(mp *analysis.ModulePass) error {
-	// Collect every field of every package-level struct named Config.
+	// Collect every field of every package-level struct named Config or
+	// Spec.
 	fields := map[*types.Var]*fieldUse{}
 	type declared struct {
-		obj *types.Var
-		pkg string
+		obj      *types.Var
+		pkg      string
+		typeName string
 	}
 	var order []declared
 	for _, pass := range mp.Passes {
-		obj, _ := pass.Pkg.Scope().Lookup("Config").(*types.TypeName)
-		if obj == nil {
-			continue
-		}
-		st, ok := obj.Type().Underlying().(*types.Struct)
-		if !ok {
-			continue
-		}
-		for i := 0; i < st.NumFields(); i++ {
-			f := st.Field(i)
-			fields[f] = &fieldUse{}
-			order = append(order, declared{f, pass.Pkg.Path()})
+		for _, typeName := range configStructNames {
+			obj, _ := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+			if obj == nil {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				fields[f] = &fieldUse{}
+				order = append(order, declared{f, pass.Pkg.Path(), typeName})
+			}
 		}
 	}
 	if len(fields) == 0 {
@@ -117,7 +130,7 @@ func runUnread(mp *analysis.ModulePass) error {
 	sort.Slice(order, func(i, j int) bool { return order[i].obj.Pos() < order[j].obj.Pos() })
 	for _, d := range order {
 		if fields[d.obj].reads == 0 {
-			mp.Reportf(d.obj.Pos(), "config field %s.Config.%s is never read outside config plumbing; wire it into the model or delete it", shortPkg(d.pkg), d.obj.Name())
+			mp.Reportf(d.obj.Pos(), "config field %s.%s.%s is never read outside config plumbing; wire it into the model or delete it", shortPkg(d.pkg), d.typeName, d.obj.Name())
 		}
 	}
 	return nil

@@ -36,3 +36,24 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Spec is tracked like Config: a backend-selection struct whose fields
+// must be consulted somewhere outside plumbing.
+type Spec struct {
+	// Name is read by Run: fully plumbed.
+	Name string
+	// StaleSection is canonicalized but never consulted.
+	StaleSection int // want `config field cpu\.Spec\.StaleSection is never read outside config plumbing`
+}
+
+// Canonical copies fields between defaulted and spelled-out forms; its
+// reads are plumbing, exactly like withDefaults.
+func (s Spec) Canonical() Spec {
+	if s.Name == "" {
+		s.Name = "hybrid"
+	}
+	if s.StaleSection == 0 {
+		s.StaleSection = 7
+	}
+	return s
+}

@@ -24,3 +24,9 @@ func Run(cfg Config) uint64 {
 	cycles += 4096
 	return cycles
 }
+
+// NewBackend consumes Spec.Name (a behavioural read), leaving
+// StaleSection plumbing-only.
+func NewBackend(s Spec) string {
+	return s.Canonical().Name
+}

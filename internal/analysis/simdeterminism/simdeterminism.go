@@ -41,6 +41,8 @@ var SimPackages = []string{
 	"internal/pathcache",
 	"internal/pcache",
 	"internal/bpred",
+	"internal/bpred/tage",
+	"internal/bpred/h2p",
 	"internal/mem",
 	"internal/cache",
 }

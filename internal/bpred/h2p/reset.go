@@ -1,0 +1,21 @@
+package h2p
+
+// Reset clears the filter to its post-construction state.
+func (f *Filter) Reset() {
+	for i := range f.entries {
+		f.entries[i] = filterEntry{}
+	}
+}
+
+// Reset rewinds the predictor (including its wrapped base) to its
+// post-construction state so it can be reused across runs without
+// reallocating. A reset predictor is bit-identical to a fresh one.
+func (p *Predictor) Reset() {
+	p.base.Reset()
+	p.filter.Reset()
+	for i := range p.side {
+		p.side[i] = 0
+	}
+	p.hist = 0
+	p.Stats = Stats{}
+}

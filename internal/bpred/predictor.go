@@ -29,6 +29,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// Canonical fills zero-valued fields from DefaultConfig, per-field, so
+// a partially specified config (say, only BTBEntries) still gets the
+// Table 3 sizing for everything else instead of degenerate one-entry
+// tables. Idempotent; the run cache keys on the canonical form.
+func (c Config) Canonical() Config {
+	d := DefaultConfig()
+	if c.PHTEntries == 0 {
+		c.PHTEntries = d.PHTEntries
+	}
+	if c.SelectorEntries == 0 {
+		c.SelectorEntries = d.SelectorEntries
+	}
+	if c.BTBEntries == 0 {
+		c.BTBEntries = d.BTBEntries
+	}
+	if c.RASDepth == 0 {
+		c.RASDepth = d.RASDepth
+	}
+	if c.TargetCacheEntries == 0 {
+		c.TargetCacheEntries = d.TargetCacheEntries
+	}
+	return c
+}
+
 // Prediction is the front end's guess for one branch.
 type Prediction struct {
 	// Taken is the predicted direction (always true for unconditional
@@ -60,23 +84,50 @@ func (s *Stats) Predictions() uint64 {
 
 // Predictor bundles the Table 3 front-end prediction hardware. Predict is
 // called at fetch, Update with the resolved outcome; the simulator calls
-// them in fetch order (modelling perfectly repaired history).
+// them in fetch order (modelling perfectly repaired history). Dir is the
+// pluggable direction backend; BTB/RAS/TCache handle targets and are
+// shared by every backend.
 type Predictor struct {
-	Dir    *Hybrid
+	Dir    Backend
 	BTB    *BTB
 	RAS    *RAS
 	TCache *TargetCache
 	Stats  Stats
 }
 
-// New builds a predictor from cfg.
+// New builds a predictor with the default (hybrid) direction backend.
 func New(cfg Config) *Predictor {
+	p, err := NewFromSpec(cfg, Spec{})
+	if err != nil {
+		// The zero Spec canonicalizes to the registered hybrid; this is
+		// unreachable unless the registry itself is broken.
+		panic(err)
+	}
+	return p
+}
+
+// NewFromSpec builds a predictor with the direction backend spec
+// selects. It errors on an unknown backend name; callers that accept
+// external specs (CLI flags, JSON configs) should surface the error.
+func NewFromSpec(cfg Config, spec Spec) (*Predictor, error) {
+	cfg = cfg.Canonical()
+	dir, err := NewBackend(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Predictor{
-		Dir:    NewHybrid(cfg.PHTEntries, cfg.SelectorEntries),
+		Dir:    dir,
 		BTB:    NewBTB(cfg.BTBEntries),
 		RAS:    NewRAS(cfg.RASDepth),
 		TCache: NewTargetCache(cfg.TargetCacheEntries),
-	}
+	}, nil
+}
+
+// BackendStats snapshots the direction backend's counters.
+func (p *Predictor) BackendStats() BackendStats {
+	var s BackendStats
+	p.Dir.Snapshot(&s)
+	return s
 }
 
 // Predict returns the front end's prediction for the branch in at pc.

@@ -1,0 +1,26 @@
+package tage
+
+// Reset rewinds the predictor to its post-construction state so it can
+// be reused for another run without reallocating its tables. New calls
+// Reset itself, so a reset predictor is bit-identical to a fresh one by
+// construction (TestResetMatchesFresh holds this).
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = weaklyTaken
+	}
+	for ti := range p.tables {
+		for i := range p.tables[ti].entries {
+			p.tables[ti].entries[i] = entry{}
+		}
+		p.tables[ti].idxFold.comp = 0
+		p.tables[ti].tagFold.comp = 0
+		p.tables[ti].tagFold2.comp = 0
+	}
+	for i := range p.ghist {
+		p.ghist[i] = 0
+	}
+	p.gpos = 0
+	p.useAlt = 0
+	p.sinceDecay = 0
+	p.Stats = Stats{}
+}

@@ -145,6 +145,18 @@ type Config struct {
 
 	// Predictor configures the baseline branch predictors.
 	Predictor bpred.Config
+	// BPred selects and sizes the conditional-direction backend (the
+	// zero value canonicalizes to the gshare/PAs hybrid). The target
+	// structures (BTB/RAS/target cache) stay in Predictor.
+	BPred bpred.Spec
+	// H2PSpawnGate, in ModeMicrothread or ModePerfectPromoted, gates
+	// path promotion on an H2P filter (sized by BPred.H2P): a path
+	// whose terminating branch the filter does not currently classify
+	// hard-to-predict is rejected at promotion time. It focuses
+	// microthread capacity on the branches concentrating mispredictions
+	// (the Bullseye-style classifier driving spawning instead of a side
+	// predictor).
+	H2PSpawnGate bool
 	// VPred configures the value/address predictors behind pruning.
 	VPred vpred.Config
 	// Mem configures the data-memory hierarchy.
@@ -274,12 +286,13 @@ func (c Config) withDefaults() Config {
 	if c.MCBCapacity == 0 {
 		c.MCBCapacity = d.MCBCapacity
 	}
-	if c.Predictor.PHTEntries == 0 {
-		c.Predictor = d.Predictor
-	}
-	if c.VPred.Entries == 0 {
-		c.VPred = d.VPred
-	}
+	// Sub-configs canonicalize per-field (not whole-struct on a single
+	// sentinel field): a partial bpred.Config or vpred.Config keeps its
+	// set fields and defaults the rest, matching what the constructors
+	// build.
+	c.Predictor = c.Predictor.Canonical()
+	c.BPred = c.BPred.Canonical()
+	c.VPred = c.VPred.Canonical()
 	if c.FetchWidth == 0 {
 		c.FetchWidth = d.FetchWidth
 	}

@@ -204,3 +204,75 @@ func TestWrongPathSpawns(t *testing.T) {
 		t.Errorf("wrong-path spawning changed cycles by %.2fx; model unstable", ratio)
 	}
 }
+
+func TestH2PSpawnGate(t *testing.T) {
+	p, _ := synth.ProfileByName("go")
+	prog := synth.Generate(p)
+	off := DefaultConfig()
+	off.MaxInsts = 250_000
+	roff := Run(prog, off)
+	if roff.Micro.H2PGateSkips != 0 {
+		t.Errorf("gate skips counted with gate off: %d", roff.Micro.H2PGateSkips)
+	}
+
+	on := off
+	on.H2PSpawnGate = true
+	// A harsh threshold classifies almost nothing as H2P, so nearly
+	// every promotion is rejected.
+	on.BPred.H2P.H2PThreshold = 60
+	on.BPred.H2P.FilterWindow = 64
+	ron := Run(prog, on)
+	if ron.Micro.H2PGateSkips == 0 {
+		t.Fatal("harsh gate never rejected a promotion")
+	}
+	if ron.Micro.Spawned >= roff.Micro.Spawned {
+		t.Errorf("harsh gate did not reduce spawning: %d vs %d",
+			ron.Micro.Spawned, roff.Micro.Spawned)
+	}
+	if ron.PathCache.PromotionsRejected == 0 {
+		t.Error("gate skips not accounted as Path Cache promotion rejections")
+	}
+	if ron.Insts != roff.Insts {
+		t.Fatal("instruction stream diverged")
+	}
+}
+
+func TestBackendSpecPlumbed(t *testing.T) {
+	// Each backend must actually steer fetch: baseline-mode mispredict
+	// counts differ between backends, and the matching BackendStats
+	// section is populated.
+	p, _ := synth.ProfileByName("go")
+	prog := synth.Generate(p)
+	base := DefaultConfig()
+	base.Mode = ModeBaseline
+	base.MaxInsts = 200_000
+
+	hybrid := Run(prog, base)
+	if hybrid.Backend.Hybrid.Updates == 0 || hybrid.Backend.Hybrid.Updates != hybrid.PredStats.CondPredicted {
+		t.Fatalf("hybrid backend stats not reconciled: %+v vs cond %d",
+			hybrid.Backend.Hybrid, hybrid.PredStats.CondPredicted)
+	}
+
+	tcfg := base
+	tcfg.BPred.Name = "tage"
+	tg := Run(prog, tcfg)
+	if tg.Backend.TAGE.Updates != tg.PredStats.CondPredicted {
+		t.Fatalf("tage backend stats not reconciled: %+v", tg.Backend.TAGE)
+	}
+	if tg.HWMispredicts == hybrid.HWMispredicts {
+		t.Error("tage backend produced identical mispredicts to hybrid; spec likely not plumbed")
+	}
+
+	hcfg := base
+	hcfg.BPred.Name = "h2p"
+	h := Run(prog, hcfg)
+	if h.Backend.H2P.Updates != h.PredStats.CondPredicted {
+		t.Fatalf("h2p backend stats not reconciled: %+v", h.Backend.H2P)
+	}
+	if h.Backend.H2P.H2PBranches == 0 {
+		t.Error("h2p filter never classified a branch on a mispredict-heavy benchmark")
+	}
+	if h.Insts != hybrid.Insts || tg.Insts != hybrid.Insts {
+		t.Fatal("instruction stream diverged across backends")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"dpbp/internal/bpred"
+	"dpbp/internal/bpred/h2p"
 	"dpbp/internal/cache"
 	"dpbp/internal/emu"
 	"dpbp/internal/isa"
@@ -33,6 +34,11 @@ type Machine struct {
 	msys    *mem.System
 	l1i     *cache.Cache
 	tracker *path.Tracker
+
+	// h2pGate, when Config.H2PSpawnGate is on, classifies terminating
+	// branches as hard-to-predict; promotion is rejected for branches it
+	// considers easy. nil when the gate is off.
+	h2pGate *h2p.Filter
 
 	pathCache *pathcache.Cache
 	prb       *uthread.PRB
@@ -142,10 +148,27 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	} else {
 		m.em.Reset(prog)
 	}
-	if fresh || prev.Predictor != cfg.Predictor {
-		m.pred = bpred.New(cfg.Predictor)
+	if fresh || prev.Predictor != cfg.Predictor || prev.BPred != cfg.BPred {
+		p, err := bpred.NewFromSpec(cfg.Predictor, cfg.BPred)
+		if err != nil {
+			// CLI and experiment layers validate backend names up front;
+			// reaching here means an internal caller bypassed them. The
+			// scheduler isolates panics into run errors.
+			panic(err)
+		}
+		m.pred = p
 	} else {
 		m.pred.Reset()
+	}
+	gateOn := cfg.H2PSpawnGate &&
+		(cfg.Mode == ModeMicrothread || cfg.Mode == ModePerfectPromoted)
+	switch {
+	case !gateOn:
+		m.h2pGate = nil
+	case m.h2pGate == nil || fresh || prev.BPred.H2P != cfg.BPred.H2P:
+		m.h2pGate = h2p.NewFilter(cfg.BPred.H2P)
+	default:
+		m.h2pGate.Reset()
 	}
 	if fresh || prev.VPred != cfg.VPred {
 		m.vp = vpred.New(cfg.VPred)
@@ -333,6 +356,7 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 
 	m.res.Cycles = m.lastRet
 	m.res.PredStats = m.pred.Stats
+	m.res.Backend = m.pred.BackendStats()
 	m.res.PathCache = m.pathCache.Stats
 	m.res.PCache = m.predCache.Stats
 	m.res.Build = m.builder.Stats
@@ -713,6 +737,14 @@ func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, hwMis
 
 	m.updateThrottle()
 
+	// The H2P gate filter trains on the same terminating-branch stream
+	// the Path Cache observes, so a promotion decision below sees a
+	// difficulty estimate that includes this outcome (matching the Path
+	// Cache's own training order).
+	if m.h2pGate != nil {
+		m.h2pGate.Observe(rec.PC, hwMiss)
+	}
+
 	// Profile-guided promotions bypass the Path Cache's difficulty
 	// training entirely. Scope is computed here, not in execute: the
 	// tracker has not Observed this branch yet, so the value is the same,
@@ -734,6 +766,15 @@ func (m *Machine) retireSide(rec *emu.Record, retC uint64, termID path.ID, hwMis
 			m.routineReady.delete(termID)
 		}
 	case ev.Promote:
+		// The H2P spawn gate second-guesses the Path Cache: a path whose
+		// terminating branch the filter does not currently classify
+		// hard-to-predict is rejected, keeping MicroRAM and microcontext
+		// capacity for the branches concentrating mispredictions.
+		if m.h2pGate != nil && !m.h2pGate.IsH2P(rec.PC) {
+			m.res.Micro.H2PGateSkips++
+			m.pathCache.SetPromoted(termID, false)
+			return
+		}
 		if cfg.Mode == ModePerfectPromoted {
 			if m.promoted.len() < cfg.MicroRAMEntries {
 				m.promoted.set(termID, 1)

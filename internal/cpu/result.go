@@ -49,6 +49,10 @@ type MicroStats struct {
 	// WrongPathAttempts counts spawn attempts made by wrong-path fetch
 	// (only with Config.WrongPathSpawns).
 	WrongPathAttempts uint64
+
+	// H2PGateSkips counts Path Cache promotions rejected by the H2P
+	// spawn gate (only with Config.H2PSpawnGate).
+	H2PGateSkips uint64
 }
 
 // PreAllocationDrops returns the total spawn attempts aborted before a
@@ -94,6 +98,7 @@ type Result struct {
 
 	Micro     MicroStats
 	PredStats bpred.Stats
+	Backend   bpred.BackendStats
 	PathCache pathcache.Stats
 	PCache    pcache.Stats
 	Build     uthread.BuildStats

@@ -15,6 +15,7 @@ import (
 	"context"
 	"time"
 
+	"dpbp/internal/bpred"
 	"dpbp/internal/cpu"
 	"dpbp/internal/obs"
 	"dpbp/internal/pathprof"
@@ -53,6 +54,11 @@ type Options struct {
 	// cache: a cache hit would return statistics without replaying the
 	// events that reconcile with them.
 	Trace *obs.Collector
+	// BPred selects the direction-predictor backend every timing run
+	// uses (the zero value is the paper's hybrid). The shootout
+	// experiment varies the backend itself and only honours the Spec's
+	// sizing sections.
+	BPred bpred.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +153,12 @@ func runName(prog *program.Program, cfg cpu.Config) string {
 			name += "+prune"
 		}
 	}
+	if backend := cfg.BPred.Canonical().Name; backend != bpred.BackendHybrid {
+		name += "+" + backend
+	}
+	if cfg.H2PSpawnGate {
+		name += "+h2p-gate"
+	}
 	return name
 }
 
@@ -219,6 +231,7 @@ func timingConfig(o Options, mode cpu.Mode, pruning, usePreds bool) cpu.Config {
 	cfg.Pruning = pruning
 	cfg.UsePredictions = usePreds
 	cfg.MaxInsts = o.TimingInsts
+	cfg.BPred = o.BPred
 	return cfg
 }
 

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"dpbp/internal/bpred"
 	"dpbp/internal/cpu"
 	"dpbp/internal/runcache"
 	"dpbp/internal/synth"
@@ -41,13 +42,17 @@ func FuzzConfigCanonical(f *testing.F) {
 	f.Add(uint64(3), uint64(10), false, false)
 	f.Add(uint64(0), uint64(0), true, true)
 	f.Add(uint64(2), uint64(513), true, false)
+	f.Add(uint64(16), uint64(99), true, true)  // tage backend
+	f.Add(uint64(32), uint64(257), true, true) // h2p backend + spawn gate
 	f.Fuzz(func(t *testing.T, modeBits, geom uint64, usePred, pruning bool) {
+		backends := []string{"", bpred.BackendTAGE, bpred.BackendH2P}
 		cfg := cpu.Config{
 			Mode:           cpu.Mode(modeBits % 4),
 			UsePredictions: usePred,
 			Pruning:        pruning,
 			AbortEnabled:   modeBits&4 != 0,
 			Throttle:       modeBits&8 != 0,
+			H2PSpawnGate:   modeBits&32 != 0,
 			N:              int(geom % 17),         // 0 = default
 			WindowSize:     int(geom >> 4 % 700),   // includes non-pow2 sizes
 			PCacheEntries:  int(geom >> 12 % 200),  //
@@ -55,6 +60,9 @@ func FuzzConfigCanonical(f *testing.F) {
 			FetchWidth:     int(geom >> 24 % 20),   //
 			MaxInsts:       4_000 + geom>>32%4_000, //
 		}
+		cfg.BPred.Name = backends[modeBits>>4%uint64(len(backends))]
+		cfg.BPred.TAGE.MaxHistory = int(geom >> 40 % 100) // 0 = default
+		cfg.BPred.H2P.H2PThreshold = int(geom >> 48 % 12) //
 
 		canon := cfg.Canonical()
 		if again := canon.Canonical(); !reflect.DeepEqual(canon, again) {

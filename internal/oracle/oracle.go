@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 
+	"dpbp/internal/bpred"
 	"dpbp/internal/cpu"
 	"dpbp/internal/emu"
 	"dpbp/internal/obs"
@@ -66,6 +67,16 @@ func Ablations() []NamedConfig {
 			Mode: cpu.ModeMicrothread, AbortEnabled: true, Throttle: true,
 		}},
 		{Name: "potential", Config: cpu.Config{Mode: cpu.ModePerfectPromoted}},
+		{Name: "micro-tage", Config: cpu.Config{
+			Mode: cpu.ModeMicrothread, UsePredictions: true, Pruning: true,
+			AbortEnabled: true, RebuildOnViolation: true,
+			BPred: bpred.Spec{Name: bpred.BackendTAGE},
+		}},
+		{Name: "micro-h2p-gate", Config: cpu.Config{
+			Mode: cpu.ModeMicrothread, UsePredictions: true, Pruning: true,
+			AbortEnabled: true, RebuildOnViolation: true,
+			BPred: bpred.Spec{Name: bpred.BackendH2P}, H2PSpawnGate: true,
+		}},
 	}
 }
 

@@ -158,6 +158,11 @@ func TestCheckStatsCatchesCorruption(t *testing.T) {
 		{"pathcache allocation split", func(r *cpu.Result) { r.PathCache.AllocsAvoided++ }},
 		{"promotion balance", func(r *cpu.Result) { r.PathCache.Demotions = r.PathCache.Promotions + 1 }},
 		{"mispredict bound", func(r *cpu.Result) { r.Mispredicts = r.Branches + 1 }},
+		{"backend predict/update pairing", func(r *cpu.Result) { r.Backend.Hybrid.Updates++ }},
+		{"backend selection split", func(r *cpu.Result) { r.Backend.Hybrid.GshareSelected++ }},
+		{"backend correctness", func(r *cpu.Result) { r.Backend.Hybrid.Correct++ }},
+		{"inactive backend purity", func(r *cpu.Result) { r.Backend.TAGE.Lookups++ }},
+		{"gate skip bound", func(r *cpu.Result) { r.Micro.H2PGateSkips = r.PathCache.PromotionsRejected + 1 }},
 	}
 	for _, m := range mutations {
 		bad := *res

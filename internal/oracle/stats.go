@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"strings"
 
+	"dpbp/internal/bpred"
+	"dpbp/internal/bpred/h2p"
+	"dpbp/internal/bpred/tage"
 	"dpbp/internal/cpu"
 	"dpbp/internal/obs"
 	"dpbp/internal/pathcache"
@@ -95,6 +98,12 @@ func CheckStats(res *cpu.Result, cfg cpu.Config) error {
 	chk(ph.DifficultCleared <= ph.DifficultSet,
 		"difficult cleared %d > set %d", ph.DifficultCleared, ph.DifficultSet)
 
+	// Direction backend: handleBranch pairs exactly one Dir.Predict with
+	// one Dir.Update per retired conditional branch, so the live
+	// backend's counters reconcile with the front end's class totals,
+	// and the inactive sections of the stats union stay zero.
+	checkBackendStats(chk, res, cfg)
+
 	// Builder.
 	chk(ms.Rebuilds <= res.Build.Builds, "rebuilds %d > builds %d", ms.Rebuilds, res.Build.Builds)
 	chk(res.Build.Builds <= res.Build.SizeSum || res.Build.Builds == 0,
@@ -113,6 +122,73 @@ func CheckStats(res *cpu.Result, cfg cpu.Config) error {
 		return fmt.Errorf("stats invariants violated: %s", strings.Join(bad, "; "))
 	}
 	return nil
+}
+
+// checkBackendStats verifies the direction-backend counter algebra for
+// the backend cfg selects. The laws are cited from the backend
+// implementations: each documents where the relation comes from.
+func checkBackendStats(chk func(bool, string, ...any), res *cpu.Result, cfg cpu.Config) {
+	bs := &res.Backend
+	ps := &res.PredStats
+	spec := cfg.BPred.Canonical()
+	switch spec.Name {
+	case bpred.BackendHybrid:
+		h := &bs.Hybrid
+		chk(h.Lookups == ps.CondPredicted && h.Updates == ps.CondPredicted,
+			"hybrid lookups %d / updates %d != cond branches %d", h.Lookups, h.Updates, ps.CondPredicted)
+		// The selector picks exactly one component per update.
+		chk(h.GshareSelected+h.PAsSelected == h.Updates,
+			"hybrid gshare %d + pas %d != updates %d", h.GshareSelected, h.PAsSelected, h.Updates)
+		chk(h.Disagreements <= h.Updates, "hybrid disagreements %d > updates %d", h.Disagreements, h.Updates)
+		// The backend's own correctness count is the front end's.
+		chk(h.Correct == ps.CondPredicted-ps.CondMispredicted,
+			"hybrid correct %d != cond %d - mispredicted %d", h.Correct, ps.CondPredicted, ps.CondMispredicted)
+		chk(bs.TAGE == (tage.Stats{}) && bs.H2P == (h2p.Stats{}),
+			"inactive backend sections nonzero under hybrid")
+	case bpred.BackendTAGE:
+		t := &bs.TAGE
+		chk(t.Lookups == ps.CondPredicted && t.Updates == ps.CondPredicted,
+			"tage lookups %d / updates %d != cond branches %d", t.Lookups, t.Updates, ps.CondPredicted)
+		// Every update has exactly one provider (tagged hit or bimodal).
+		chk(t.ProviderTagged+t.ProviderBimodal == t.Updates,
+			"tage providers %d+%d != updates %d", t.ProviderTagged, t.ProviderBimodal, t.Updates)
+		chk(t.AltUsed <= t.ProviderTagged, "tage alt-used %d > tagged providers %d", t.AltUsed, t.ProviderTagged)
+		chk(t.Correct+t.Mispredicts == t.Updates,
+			"tage correct %d + mispredicts %d != updates %d", t.Correct, t.Mispredicts, t.Updates)
+		chk(t.Mispredicts == ps.CondMispredicted,
+			"tage mispredicts %d != cond mispredicted %d", t.Mispredicts, ps.CondMispredicted)
+		// Allocation is attempted only on a mispredict with a longer
+		// table available.
+		chk(t.Allocations+t.AllocFailed <= t.Mispredicts,
+			"tage allocations %d + failed %d > mispredicts %d", t.Allocations, t.AllocFailed, t.Mispredicts)
+		// sinceDecay advances once per update and wraps at the interval.
+		chk(t.UDecays == t.Updates/uint64(spec.TAGE.UDecayInterval),
+			"tage decays %d != updates %d / interval %d", t.UDecays, t.Updates, spec.TAGE.UDecayInterval)
+		chk(bs.Hybrid == (bpred.HybridStats{}) && bs.H2P == (h2p.Stats{}),
+			"inactive backend sections nonzero under tage")
+	case bpred.BackendH2P:
+		h := &bs.H2P
+		chk(h.Lookups == ps.CondPredicted && h.Updates == ps.CondPredicted,
+			"h2p lookups %d / updates %d != cond branches %d", h.Lookups, h.Updates, ps.CondPredicted)
+		// Every override is scored exactly once.
+		chk(h.Overrides == h.OverrideCorrect+h.OverrideWrong,
+			"h2p overrides %d != correct %d + wrong %d", h.Overrides, h.OverrideCorrect, h.OverrideWrong)
+		// Overriding requires the branch be classified hard-to-predict.
+		chk(h.Overrides <= h.H2PBranches && h.H2PBranches <= h.Updates,
+			"h2p overrides %d > h2p branches %d or > updates %d", h.Overrides, h.H2PBranches, h.Updates)
+		chk(h.BaseMispredicts <= h.Updates, "h2p base mispredicts %d > updates %d", h.BaseMispredicts, h.Updates)
+		chk(bs.Hybrid == (bpred.HybridStats{}) && bs.TAGE == (tage.Stats{}),
+			"inactive backend sections nonzero under h2p")
+	}
+
+	// The spawn gate exists only when configured, and every skip rejected
+	// a promotion.
+	gateOn := cfg.H2PSpawnGate && (cfg.Mode == cpu.ModeMicrothread || cfg.Mode == cpu.ModePerfectPromoted)
+	if !gateOn {
+		chk(res.Micro.H2PGateSkips == 0, "h2p gate skips %d with gate off", res.Micro.H2PGateSkips)
+	}
+	chk(res.Micro.H2PGateSkips <= res.PathCache.PromotionsRejected,
+		"h2p gate skips %d > rejected promotions %d", res.Micro.H2PGateSkips, res.PathCache.PromotionsRejected)
 }
 
 // CheckTrace reconciles an attached tracer's per-kind event counts with

@@ -38,6 +38,8 @@ func CSV(w io.Writer, v any) error {
 		err = csvProfileGuided(cw, r)
 	case *results.AblationResult:
 		err = csvAblations(cw, r)
+	case *results.ShootoutResult:
+		err = csvShootout(cw, r)
 	case *obs.Registry:
 		err = csvMetrics(cw, r)
 	default:
@@ -232,6 +234,29 @@ func csvMetrics(w *csv.Writer, r *obs.Registry) error {
 		}
 	}
 	return nil
+}
+
+func csvShootout(w *csv.Writer, s *results.ShootoutResult) error {
+	if err := w.Write([]string{"bench", "config", "ipc", "speedup", "mispredict_pct"}); err != nil {
+		return err
+	}
+	for _, r := range s.Rows {
+		for ci, c := range r.Cells {
+			if c.IPC == 0 {
+				continue // failed run: accounted for in the ERROR records
+			}
+			rec := []string{r.Bench, s.Configs[ci], ftoa(c.IPC), ftoa(c.Speedup), ftoa(c.MispredictPct)}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for ci, g := range s.Geomean {
+		if err := w.Write([]string{"geomean", s.Configs[ci], "", ftoa(g), ""}); err != nil {
+			return err
+		}
+	}
+	return csvErrors(w, s.Errors)
 }
 
 func csvAblations(w *csv.Writer, a *results.AblationResult) error {

@@ -45,6 +45,8 @@ func TextString(v any) (string, error) {
 		return textProfileGuided(r), nil
 	case *results.AblationResult:
 		return textAblations(r), nil
+	case *results.ShootoutResult:
+		return textShootout(r), nil
 	case *obs.Registry:
 		return textMetrics(r), nil
 	}
@@ -366,6 +368,60 @@ func textProfileGuided(p *results.ProfileGuidedResult) string {
 	fmt.Fprintf(w, "Geomean\t\t%s\t%s\t\n", pct(results.Geomean(dyn)), pct(results.Geomean(gui)))
 	flushTable(w)
 	textErrors(&b, p.Errors)
+	return b.String()
+}
+
+func textShootout(s *results.ShootoutResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Shootout: predictor backends vs microthreads (speedup over hybrid baseline)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "Bench\tbase IPC")
+	for _, c := range s.Configs[1:] {
+		fmt.Fprintf(w, "\t%s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range s.Rows {
+		if r.Cells[0].IPC == 0 {
+			fmt.Fprintf(w, "%s\t-", r.Bench)
+		} else {
+			fmt.Fprintf(w, "%s\t%.3f", r.Bench, r.Cells[0].IPC)
+		}
+		for _, c := range r.Cells[1:] {
+			if c.Speedup == 0 {
+				fmt.Fprint(w, "\t-")
+			} else {
+				fmt.Fprintf(w, "\t%s", pct(c.Speedup))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "Geomean\t")
+	for _, g := range s.Geomean[1:] {
+		fmt.Fprintf(w, "\t%s", pct(g))
+	}
+	fmt.Fprintln(w)
+	flushTable(w)
+
+	fmt.Fprintln(&b, "\nMachine-level misprediction rate (%)")
+	w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "Bench")
+	for _, c := range s.Configs {
+		fmt.Fprintf(w, "\t%s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%s", r.Bench)
+		for _, c := range r.Cells {
+			if c.IPC == 0 {
+				fmt.Fprint(w, "\t-")
+			} else {
+				fmt.Fprintf(w, "\t%.2f", c.MispredictPct)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	flushTable(w)
+	textErrors(&b, s.Errors)
 	return b.String()
 }
 

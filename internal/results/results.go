@@ -170,6 +170,43 @@ type ProfileGuidedRow struct {
 	GuidedPaths    int     `json:"guided_paths"`    // promotions fed in
 }
 
+// ShootoutResult is the predictor-backend arena: per benchmark, the
+// same machine run under each contending configuration (hybrid, TAGE,
+// and H2P-side baselines; microthreads over hybrid and TAGE; the
+// H2P-gated microthread variant), reporting IPC, speedup over the
+// first (reference) configuration, and machine-level misprediction
+// rate.
+type ShootoutResult struct {
+	// Configs names the contenders, in column order. Configs[0] is the
+	// reference every speedup is relative to.
+	Configs []string      `json:"configs"`
+	Rows    []ShootoutRow `json:"rows"`
+	// Geomean holds the per-config geometric-mean speedup over the
+	// reference, parallel to Configs, across benchmarks where both the
+	// config and the reference completed.
+	Geomean []float64  `json:"geomean"`
+	Errors  []RunError `json:"errors,omitempty"`
+}
+
+// ShootoutRow is one benchmark's line; Cells is parallel to
+// ShootoutResult.Configs. A cell with IPC 0 means that config's run
+// failed for this benchmark (accounted for in Errors).
+type ShootoutRow struct {
+	Bench string         `json:"bench"`
+	Cells []ShootoutCell `json:"cells"`
+}
+
+// ShootoutCell is one (benchmark, config) outcome.
+type ShootoutCell struct {
+	IPC float64 `json:"ipc"`
+	// Speedup is IPC relative to the reference config's IPC for the
+	// same benchmark (0 when the reference failed).
+	Speedup float64 `json:"speedup"`
+	// MispredictPct is the machine-level terminating-branch
+	// misprediction rate, in percent.
+	MispredictPct float64 `json:"mispredict_pct"`
+}
+
 // AblationResult quantifies the design choices DESIGN.md calls out, each
 // as a geomean speed-up over the shared baseline across the selected
 // benchmarks.
