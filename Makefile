@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json profile fuzz cover ci
+.PHONY: all build vet lint test race bench bench-json bench-diff profile fuzz cover ci
 
 all: build vet lint test
 
@@ -19,10 +19,11 @@ test:
 	$(GO) test ./...
 
 # race covers the packages where concurrency lives (the scheduler, the
-# experiment fan-out, and the timing core) plus the root-package
-# determinism regression tests, which drive the fan-out end to end.
+# experiment fan-out, the timing core, and the shared replay tapes) plus
+# the root-package determinism regression tests, which drive the fan-out
+# end to end.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/...
+	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/... ./internal/replay/...
 	$(GO) test -race -run Determinism .
 
 bench:
@@ -34,6 +35,14 @@ bench:
 BENCHTIME ?= 1x
 bench-json:
 	@$(GO) test -json -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+
+# bench-diff renders the committed benchmark baselines side by side:
+# ns/op and allocs/op per file, with each column's speedup against the
+# seed. Cross-file ns/op ratios are only trustworthy when the files were
+# captured in the same machine window (see EXPERIMENTS.md).
+BENCH_FILES ?= BENCH_seed.json BENCH_pr3.json BENCH_pr8.json
+bench-diff:
+	@$(GO) run ./cmd/benchfmt $(BENCH_FILES)
 
 # fuzz runs a short smoke of each native fuzz target against the
 # differential oracle (the engine accepts one target per invocation).

@@ -1,0 +1,206 @@
+// Command benchfmt reduces the repo's committed benchmark baselines —
+// go-test JSON event files like BENCH_seed.json, produced by `make
+// bench-json` — into one side-by-side comparison table.
+//
+// Usage:
+//
+//	benchfmt BENCH_seed.json BENCH_pr3.json BENCH_pr8.json
+//
+// Each argument is one column; rows are benchmarks. The first file is
+// the reference: every later column shows its ns/op and allocs/op with
+// the speedup (reference ns/op ÷ column ns/op) alongside, so a
+// perf-optimisation PR's trajectory reads left to right. Benchmarks
+// missing from a file render as "-"; go test's event stream splits a
+// benchmark's result line across output events, so events are
+// concatenated per test before parsing.
+//
+// `make bench-diff` runs it over the committed baselines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's record benchfmt consumes.
+type event struct {
+	Action string
+	Test   string
+	Output string
+}
+
+// result is one benchmark's measurements in one file.
+type result struct {
+	nsOp     float64
+	allocsOp float64
+	hasMem   bool
+}
+
+var (
+	nsRe     = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?) ns/op`)
+	allocsRe = regexp.MustCompile(`([0-9]+) allocs/op`)
+)
+
+// parseFile extracts benchmark results from one go-test JSON event file.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only; nothing to report
+
+	// Concatenate output per test first: result lines arrive split
+	// across events.
+	outputs := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") {
+			continue
+		}
+		b := outputs[ev.Test]
+		if b == nil {
+			b = &strings.Builder{}
+			outputs[ev.Test] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+
+	results := make(map[string]result)
+	for test, b := range outputs {
+		out := b.String()
+		m := nsRe.FindStringSubmatch(out)
+		if m == nil {
+			continue // ran but emitted no measurement (skipped, failed)
+		}
+		r := result{}
+		r.nsOp, _ = strconv.ParseFloat(m[1], 64)
+		if am := allocsRe.FindStringSubmatch(out); am != nil {
+			r.allocsOp, _ = strconv.ParseFloat(am[1], 64)
+			r.hasMem = true
+		}
+		results[strings.TrimPrefix(test, "Benchmark")] = r
+	}
+	return results, nil
+}
+
+// fmtNs renders a ns/op value at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.0fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// fmtAllocs renders an allocs/op count compactly.
+func fmtAllocs(n float64) string {
+	if n >= 1e3 {
+		return fmt.Sprintf("%.1fk allocs", n/1e3)
+	}
+	return fmt.Sprintf("%.0f allocs", n)
+}
+
+func run(paths []string) error {
+	type column struct {
+		name    string
+		results map[string]result
+	}
+	var cols []column
+	for _, p := range paths {
+		rs, err := parseFile(p)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, column{name: p, results: rs})
+	}
+
+	// Row set: every benchmark seen anywhere, sorted.
+	names := make(map[string]bool)
+	for _, c := range cols {
+		for n := range c.results {
+			names[n] = true
+		}
+	}
+	rows := make([]string, 0, len(names))
+	for n := range names {
+		rows = append(rows, n)
+	}
+	sort.Strings(rows)
+
+	w := bufio.NewWriter(os.Stdout)
+
+	cells := make([][]string, len(rows)+1)
+	cells[0] = append([]string{"benchmark"}, paths...)
+	ref := cols[0].results
+	for i, name := range rows {
+		row := []string{name}
+		for ci, c := range cols {
+			r, ok := c.results[name]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			cell := fmtNs(r.nsOp)
+			if ci > 0 {
+				if base, ok := ref[name]; ok && r.nsOp > 0 {
+					cell += fmt.Sprintf(" (%.2fx)", base.nsOp/r.nsOp)
+				}
+			}
+			if r.hasMem {
+				cell += " " + fmtAllocs(r.allocsOp)
+			}
+			row = append(row, cell)
+		}
+		cells[i+1] = row
+	}
+
+	// Column-aligned plain text.
+	widths := make([]int, len(cells[0]))
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchfmt BENCH_a.json [BENCH_b.json ...]")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}

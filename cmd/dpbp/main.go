@@ -15,6 +15,7 @@
 //	-par N                deprecated alias for -j
 //	-timeout D            whole-invocation time budget (e.g. 90s; 0 = none)
 //	-nocache              recompute every run instead of memoizing
+//	-noreplay             re-execute programs live instead of replaying the tape
 //	-trace FILE           write a Chrome trace-event JSON of every timing run
 //	-metrics              append a metrics section (unified counters/histograms)
 //	-cpuprofile FILE      write a CPU profile of the whole invocation
@@ -32,6 +33,13 @@
 // Tables 1 and 2 share one profile) compute each unique run exactly
 // once. Results are bit-identical either way; -nocache exists for
 // timing comparisons.
+//
+// Cached sweeps also record each benchmark's retirement stream once and
+// replay it into every timing configuration (internal/replay), sharing
+// one branch-predictor pass per backend across runs. -noreplay forces
+// live functional re-execution instead; results are bit-identical
+// either way, and the flag exists for timing comparisons and as an
+// escape hatch.
 //
 // -trace attaches a lifecycle tracer to every timing run and writes one
 // Chrome trace-event JSON document (loadable in Perfetto or
@@ -75,6 +83,7 @@ func main() {
 	par := flag.Int("par", 0, "deprecated alias for -j")
 	timeout := flag.Duration("timeout", 0, "whole-invocation time budget; expired sweeps emit partial results (0 = none)")
 	noCache := flag.Bool("nocache", false, "recompute every run instead of memoizing shared ones")
+	noReplay := flag.Bool("noreplay", false, "re-execute programs live instead of replaying the shared retirement tape")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of every timing run to this file")
 	metrics := flag.Bool("metrics", false, "append a metrics section (unified counters and histograms)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
@@ -82,7 +91,7 @@ func main() {
 	flag.Parse()
 
 	os.Exit(mainExit(*expName, *bench, *bpredName, *format, *insts, *profInsts, *jobs, *par,
-		*timeout, *noCache, obsOpts{traceFile: *traceFile, metrics: *metrics},
+		*timeout, *noCache, *noReplay, obsOpts{traceFile: *traceFile, metrics: *metrics},
 		*cpuProfile, *memProfile))
 }
 
@@ -101,7 +110,7 @@ func (o obsOpts) enabled() bool { return o.traceFile != "" || o.metrics }
 // mainExit is main minus os.Exit, so profile writers run via defer before
 // the process terminates.
 func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64, jobs, par int,
-	timeout time.Duration, noCache bool, oo obsOpts, cpuProfile, memProfile string) int {
+	timeout time.Duration, noCache, noReplay bool, oo obsOpts, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -157,6 +166,7 @@ func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64,
 		Parallelism:  jobs,
 	}
 	opts.BPred.Name = bpredName
+	opts.NoReplay = noReplay
 	if !noCache {
 		opts.Cache = dpbp.NewRunCache()
 	}

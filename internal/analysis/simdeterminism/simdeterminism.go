@@ -45,6 +45,10 @@ var SimPackages = []string{
 	"internal/bpred/h2p",
 	"internal/mem",
 	"internal/cache",
+	// replay regenerates the retirement stream and the predictor's
+	// recorded decisions; any nondeterminism here would split a replayed
+	// run from its live twin, so it lives under the same contract.
+	"internal/replay",
 }
 
 // clockFuncs are the wall-clock entry points of package time. Duration

@@ -29,6 +29,15 @@ type Machine struct {
 	prog *program.Program
 	em   *emu.Machine
 
+	// src is the functional instruction stream the run consumes: the
+	// private emulator (wrapped by live) by default, or a replay source
+	// passed to RunContextFrom. preds is non-nil when src carries a
+	// recorded predictor interaction, in which case the machine's own
+	// predictor tables are never consulted.
+	src   Source
+	live  liveSource
+	preds PredictionSource
+
 	pred    *bpred.Predictor
 	vp, ap  *vpred.Predictor
 	msys    *mem.System
@@ -134,10 +143,13 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	if fresh {
 		m.em = emu.New(prog)
 		// The closures dereference m at call time, so they stay correct
-		// when Reset swaps components (emulator, predictors) underneath.
+		// when Reset swaps components (emulator, predictors, the stream
+		// source) underneath. Reading through m.src keeps spawn-point
+		// state correct under replay, where the architectural state
+		// lives in the cursor's shadow emulator.
 		m.uenv = uthread.Env{
-			ReadReg: func(r isa.Reg) isa.Word { return m.em.Reg(r) },
-			LoadMem: func(a isa.Addr) isa.Word { return m.em.Mem.Load(a) },
+			ReadReg: func(r isa.Reg) isa.Word { return m.src.Reg(r) },
+			LoadMem: func(a isa.Addr) isa.Word { return m.src.Load(a) },
 			PredictValue: func(pc isa.Addr, ahead int) (isa.Word, bool) {
 				return m.vp.Predict(pc, ahead)
 			},
@@ -148,6 +160,9 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	} else {
 		m.em.Reset(prog)
 	}
+	m.live.em = m.em
+	m.src = &m.live
+	m.preds = nil
 	if fresh || prev.Predictor != cfg.Predictor || prev.BPred != cfg.BPred {
 		p, err := bpred.NewFromSpec(cfg.Predictor, cfg.BPred)
 		if err != nil {
@@ -313,16 +328,51 @@ const ctxCheckInterval = 4096
 // reused immediately. On cancellation or deadline the partial statistics
 // accumulated so far are returned alongside the context's error.
 func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Config) (*Result, error) {
+	return m.RunContextFrom(ctx, prog, cfg, nil)
+}
+
+// RunContextFrom is RunContext with the functional stream supplied
+// externally: src replaces the machine's private emulator as the
+// instruction source (nil means live execution). The source must be
+// positioned at the start of prog's stream and must cover cfg.MaxInsts
+// records (or end at the program's halt). Because the retirement
+// stream is config-invariant, a run replayed from a recorded source
+// returns a Result bit-identical to live execution; sources that also
+// carry recorded predictions (PredictionSource with predictions
+// attached) additionally bypass the machine's branch-predictor tables.
+func (m *Machine) RunContextFrom(ctx context.Context, prog *program.Program, cfg Config, src Source) (*Result, error) {
 	m.Reset(prog, cfg)
 	cfg = m.cfg // defaults applied
+	if src != nil {
+		m.src = src
+		if ps, ok := src.(PredictionSource); ok && ps.HasPredictions() {
+			m.preds = ps
+		}
+	}
+	// Devirtualize stepping when the source is a shell over an emulator
+	// (both the live source and the replay cursor are); stepEm == nil
+	// falls back to the interface.
+	var stepEm *emu.Machine
+	if eb, ok := m.src.(emuBacked); ok {
+		stepEm = eb.Emu()
+	}
 
+	// pc and seq track the source's fetch point locally: after each
+	// record they are rec.NextPC and rec.Seq+1 by the stream contract,
+	// so the loop pays one source call per instruction (Next) instead
+	// of four. The halt idiom (an unconditional self-jump) is likewise
+	// detected from the record, exactly when the source's Halted would
+	// turn true.
 	var rec emu.Record
-	for m.res.Insts < cfg.MaxInsts && !m.em.Halted() {
+	pc, seq := m.src.PC(), m.src.Seq()
+	halted := m.src.Halted()
+	// Only microthread runs populate the prediction cache, so only they
+	// have entries to expire.
+	expire := cfg.Mode == ModeMicrothread
+	for m.res.Insts < cfg.MaxInsts && !halted {
 		if m.res.Insts%ctxCheckInterval == 0 && ctx.Err() != nil {
 			break
 		}
-		pc := m.em.PC()
-		seq := m.em.Seq()
 		fc := m.fetchCycleFor(pc, m.isBr[pc], seq)
 		if m.obs != nil {
 			// Stamp subsequent events (including the Path Cache's, which
@@ -341,7 +391,11 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 		if cfg.Mode == ModeMicrothread {
 			m.trySpawns(pc, seq, fc)
 		}
-		if !m.em.Step(&rec) {
+		if stepEm != nil {
+			if !stepEm.Step(&rec) {
+				break
+			}
+		} else if !m.src.Next(&rec) {
 			break
 		}
 		m.res.Insts++
@@ -349,14 +403,20 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 		if cfg.OnRetire != nil {
 			cfg.OnRetire(&rec)
 		}
-		if rec.Seq%64 == 0 {
+		if expire && rec.Seq%64 == 0 {
 			m.predCache.Expire(rec.Seq)
 		}
+		halted = rec.Inst.Op == isa.OpJmp && rec.NextPC == rec.PC
+		pc, seq = rec.NextPC, rec.Seq+1
 	}
 
 	m.res.Cycles = m.lastRet
-	m.res.PredStats = m.pred.Stats
-	m.res.Backend = m.pred.BackendStats()
+	if m.preds != nil {
+		m.res.PredStats, m.res.Backend = m.preds.FinalPredStats()
+	} else {
+		m.res.PredStats = m.pred.Stats
+		m.res.Backend = m.pred.BackendStats()
+	}
 	m.res.PathCache = m.pathCache.Stats
 	m.res.PCache = m.predCache.Stats
 	m.res.Build = m.builder.Stats
@@ -369,14 +429,15 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 }
 
 // ArchRegs returns the architectural register file as of the last retired
-// instruction — the machine's internal emulator state. Valid after
-// RunContext returns, until the next Reset.
-func (m *Machine) ArchRegs() [isa.NumRegs]isa.Word { return m.em.Regs }
+// instruction — the run's stream-source state (the machine's internal
+// emulator when live, the replay cursor's shadow state when replayed).
+// Valid after RunContext returns, until the next Reset.
+func (m *Machine) ArchRegs() [isa.NumRegs]isa.Word { return m.src.Regs() }
 
 // ArchMem appends the final architectural memory image (nonzero words,
 // ascending address order) to dst and returns it. Valid after RunContext
 // returns, until the next Reset.
-func (m *Machine) ArchMem(dst []emu.MemWord) []emu.MemWord { return m.em.Mem.Snapshot(dst) }
+func (m *Machine) ArchMem(dst []emu.MemWord) []emu.MemWord { return m.src.SnapshotMem(dst) }
 
 func buildConfigOf(cfg Config) uthread.BuildConfig {
 	bc := uthread.DefaultBuildConfig(cfg.Pruning)
@@ -548,9 +609,9 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 	// consume the identity; baseline and perfect-all runs skip the hash.
 	// Scope is needed only on the (rare) build path, so retireSide
 	// computes it on demand.
+	usesMicro := cfg.Mode == ModeMicrothread || cfg.Mode == ModePerfectPromoted
 	var termID path.ID
-	if in.IsTerminatingBranch() &&
-		(cfg.Mode == ModeMicrothread || cfg.Mode == ModePerfectPromoted) {
+	if usesMicro && in.IsTerminatingBranch() {
 		termID = m.tracker.ID(rec.PC)
 	}
 
@@ -563,9 +624,14 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 		m.monitorContexts(rec, fc)
 	}
 
-	m.retireSide(rec, retC, termID, hwMiss)
+	if usesMicro {
+		m.retireSide(rec, retC, termID, hwMiss)
+	}
 
-	if rec.Taken {
+	// Path identity and Path_History feed only the microthreaded modes
+	// (spawn-prefix matching, promotion, the builder); the baseline and
+	// perfect-all runs never read either, so they skip the bookkeeping.
+	if usesMicro && rec.Taken {
 		m.tracker.Observe(path.TakenBranch{PC: rec.PC, Target: rec.NextPC, Seq: rec.Seq})
 		m.takenRing[m.takenCnt%takenRingSize] = rec.PC
 		m.takenCnt++
@@ -578,8 +644,17 @@ func (m *Machine) execute(rec *emu.Record, fc uint64) {
 func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.ID) bool {
 	cfg := &m.cfg
 	in := rec.Inst
-	pr := m.pred.Predict(rec.PC, in)
-	hwMiss := m.pred.Update(rec.PC, in, pr, rec.Taken, rec.NextPC)
+	var pr bpred.Prediction
+	var hwMiss bool
+	if m.preds != nil {
+		// Replay: the recorded overlay yields exactly what Predict and
+		// Update would have computed for this branch, in the same
+		// one-call-per-retired-branch order.
+		pr, hwMiss = m.preds.NextPrediction()
+	} else {
+		pr = m.pred.Predict(rec.PC, in)
+		hwMiss = m.pred.Update(rec.PC, in, pr, rec.Taken, rec.NextPC)
+	}
 
 	hwNext := pr.Target
 	if in.IsCondBranch() && !pr.Taken {

@@ -176,8 +176,8 @@ func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 	loadIdx := 0
 	var complete uint64
 	var buf [2]isa.Reg
-	for idx, mi := range r.Insts {
-		in := mi.Inst
+	for idx := range r.Insts {
+		in := &r.Insts[idx].Inst
 		// Microcontext queues feed a bounded number of instructions
 		// into the machine per cycle.
 		ready := start + uint64(idx/m.cfg.InjectPerCycle)
@@ -291,6 +291,10 @@ func (m *Machine) wrongPathSpawns(start isa.Addr, seq uint64, fc uint64) {
 //
 //dpbp:speculative
 func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
+	// The record's properties are loop-invariant; evaluate them once,
+	// not per active context.
+	isStore := rec.Inst.IsStore()
+	abortable := m.cfg.AbortEnabled && rec.Taken && rec.Inst.IsBranch()
 	for w, bw := range m.activeBits {
 		for bw != 0 {
 			i := w*64 + bits.TrailingZeros64(bw)
@@ -299,7 +303,7 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 			if rec.Seq <= ctx.spawnSeq {
 				continue
 			}
-			if rec.Inst.IsStore() && watchContains(ctx.watch, rec.EA) {
+			if isStore && watchContains(ctx.watch, rec.EA) {
 				// The primary thread stored to an address the
 				// microthread read at spawn: the speculated memory
 				// state was stale. Rebuild the routine (Section 4.2.4);
@@ -321,7 +325,7 @@ func (m *Machine) monitorContexts(rec *emu.Record, fc uint64) {
 				}
 				continue
 			}
-			if m.cfg.AbortEnabled && rec.Inst.IsBranch() && rec.Taken {
+			if abortable {
 				if ctx.expIdx < len(ctx.r.ExpectedTakens) && ctx.r.ExpectedTakens[ctx.expIdx] == rec.PC {
 					ctx.expIdx++
 				} else {

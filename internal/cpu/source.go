@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"dpbp/internal/bpred"
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+)
+
+// Source is the machine's view of the functional instruction stream: a
+// live emulator stepping the program, or a recorded tape replaying it
+// (internal/replay). The timing core is execution-driven — it consumes
+// the stream in retirement order and reads architectural state between
+// instructions (microthread spawns execute routines against the
+// register file and memory at the spawn point) — and this interface is
+// exactly that surface, so a recorded source is indistinguishable from
+// a live one and a replayed run's Result is bit-identical to its
+// live-executed twin.
+//
+// The contract mirrors emu.Machine: PC, Seq, and Halted describe the
+// position before the next instruction; Next yields that instruction's
+// retirement record and advances the architectural state past it; Reg
+// and Load read the current register file and memory; Regs and
+// SnapshotMem read the final architectural state after the run.
+// RunContextFrom consumes a source from its current position, which
+// must be the start of prog's stream.
+type Source interface {
+	PC() isa.Addr
+	Seq() uint64
+	Halted() bool
+	Next(rec *emu.Record) bool
+	Reg(r isa.Reg) isa.Word
+	Load(a isa.Addr) isa.Word
+	Regs() [isa.NumRegs]isa.Word
+	SnapshotMem(dst []emu.MemWord) []emu.MemWord
+}
+
+// PredictionSource is a Source that also carries the recorded hardware
+// branch-predictor interaction for its stream (a replay overlay). The
+// machine calls NextPrediction exactly once per retired branch, in
+// retirement order — the same pairing it would use against the live
+// predictor — and takes the run's final predictor statistics from
+// FinalPredStats instead of its own (never-consulted) tables.
+// HasPredictions gates the whole path: a source may satisfy the
+// interface structurally without predictions attached.
+type PredictionSource interface {
+	Source
+	HasPredictions() bool
+	NextPrediction() (bpred.Prediction, bool)
+	FinalPredStats() (bpred.Stats, bpred.BackendStats)
+}
+
+// liveSource adapts the machine's private emulator to Source; it is
+// the default stream when no replay source is supplied.
+type liveSource struct {
+	em *emu.Machine
+}
+
+func (s *liveSource) PC() isa.Addr                 { return s.em.PC() }
+func (s *liveSource) Seq() uint64                  { return s.em.Seq() }
+func (s *liveSource) Halted() bool                 { return s.em.Halted() }
+func (s *liveSource) Next(rec *emu.Record) bool    { return s.em.Step(rec) }
+func (s *liveSource) Reg(r isa.Reg) isa.Word       { return s.em.Reg(r) }
+func (s *liveSource) Load(a isa.Addr) isa.Word     { return s.em.Mem.Load(a) }
+func (s *liveSource) Regs() [isa.NumRegs]isa.Word  { return s.em.Regs }
+func (s *liveSource) SnapshotMem(dst []emu.MemWord) []emu.MemWord {
+	return s.em.Mem.Snapshot(dst)
+}
+
+func (s *liveSource) Emu() *emu.Machine { return s.em }
+
+// emuBacked is satisfied by sources that are a thin shell over an
+// emu.Machine — the live source and the replay cursor. The run loop
+// devirtualizes through it: stepping the emulator directly, instead of
+// through two call layers (interface dispatch plus wrapper) per retired
+// instruction, is worth several percent of a sweep. The exposed machine
+// is stepped exactly as the Source contract would step it, never
+// mutated otherwise.
+type emuBacked interface {
+	Emu() *emu.Machine
+}

@@ -139,9 +139,61 @@ type Machine struct {
 	Regs [isa.NumRegs]isa.Word
 	Mem  *Memory
 
+	// meta and code cache each static instruction's decode (ReadsInto
+	// and the execution-kind classification are pure functions of the
+	// instruction), so Step pays table reads per dynamic instruction
+	// instead of decode switches.
+	meta []instMeta //dpbp:reset-skip rebuilt by indexProg, which Reset calls
+	code []isa.Inst //dpbp:reset-skip rebuilt by indexProg, which Reset calls
+
 	pc     isa.Addr
 	seq    uint64
 	halted bool
+}
+
+// instMeta is the per-PC decode cache: the source registers an
+// instruction reads (zero-padded past nsrc) and the execution kind.
+type instMeta struct {
+	src  [2]isa.Reg
+	nsrc uint8
+	kind uint8
+}
+
+// Execution kinds, mirroring the mutually-exclusive cases of Step's
+// dispatch in its original test order.
+const (
+	kALU uint8 = iota
+	kLoad
+	kStore
+	kCond
+	kJmp
+	kJmpInd
+	kCall
+	kRet
+	kBad // unexecutable in primary code; Step panics
+)
+
+// kindOf classifies one instruction for Step's dispatch.
+func kindOf(in isa.Inst) uint8 {
+	switch {
+	case isa.IsALU(in.Op):
+		return kALU
+	case in.Op == isa.OpLoad:
+		return kLoad
+	case in.Op == isa.OpStore:
+		return kStore
+	case in.IsCondBranch():
+		return kCond
+	case in.Op == isa.OpJmp:
+		return kJmp
+	case in.Op == isa.OpJmpInd:
+		return kJmpInd
+	case in.Op == isa.OpCall:
+		return kCall
+	case in.Op == isa.OpRet:
+		return kRet
+	}
+	return kBad
 }
 
 // New creates a machine with the program loaded: data image installed,
@@ -151,7 +203,23 @@ func New(p *program.Program) *Machine {
 	for i, w := range p.Data {
 		m.Mem.Store(p.DataBase+isa.Addr(i), w)
 	}
+	m.indexProg()
 	return m
+}
+
+// indexProg (re)builds the decode cache for the loaded program.
+func (m *Machine) indexProg() {
+	m.code = m.Prog.Code
+	if cap(m.meta) < len(m.code) {
+		m.meta = make([]instMeta, len(m.code))
+	}
+	m.meta = m.meta[:len(m.code)]
+	for i := range m.code {
+		var md instMeta
+		md.nsrc = uint8(m.code[i].ReadsInto(&md.src))
+		md.kind = kindOf(m.code[i])
+		m.meta[i] = md
+	}
 }
 
 // PC returns the address of the next instruction to execute.
@@ -193,66 +261,66 @@ func (m *Machine) Step(rec *Record) bool {
 
 	rec.Seq = m.seq
 	rec.PC = m.pc
-	rec.Inst = m.Prog.Code[m.pc]
+	rec.Inst = m.code[m.pc]
 	rec.Taken = false
 	rec.EA = 0
 	rec.DstVal = 0
 
+	// Regs[RZero] is never written (setReg discards, Reset zeroes), so
+	// plain indexing reads the architecturally-correct zero without the
+	// Reg accessor's branch — and, because meta zero-pads src past nsrc,
+	// it also yields the required zeros for the unused SrcVal slots.
 	in := &rec.Inst
-	n := in.ReadsInto(&rec.SrcReg)
-	rec.NSrc = uint8(n)
-	for i := 0; i < n; i++ {
-		rec.SrcVal[i] = m.Reg(rec.SrcReg[i])
-	}
-	for i := n; i < 2; i++ {
-		rec.SrcVal[i] = 0
-		rec.SrcReg[i] = 0
-	}
+	md := &m.meta[m.pc]
+	rec.SrcReg = md.src
+	rec.NSrc = md.nsrc
+	rec.SrcVal[0] = m.Regs[md.src[0]]
+	rec.SrcVal[1] = m.Regs[md.src[1]]
 
 	next := m.pc + 1
-	switch {
-	case isa.IsALU(in.Op):
-		v := isa.EvalALU(in.Op, m.Reg(in.Src1), m.Reg(in.Src2), in.Imm)
+	switch md.kind {
+	case kALU:
+		v := isa.EvalALU(in.Op, m.Regs[in.Src1], m.Regs[in.Src2], in.Imm)
 		m.setReg(in.Dst, v)
 		rec.DstVal = v
 
-	case in.Op == isa.OpLoad:
-		ea := isa.Addr(m.Reg(in.Src1) + in.Imm)
+	case kLoad:
+		ea := isa.Addr(m.Regs[in.Src1] + in.Imm)
 		v := m.Mem.Load(ea)
 		m.setReg(in.Dst, v)
 		rec.EA = ea
 		rec.DstVal = v
 
-	case in.Op == isa.OpStore:
-		ea := isa.Addr(m.Reg(in.Src1) + in.Imm)
-		m.Mem.Store(ea, m.Reg(in.Src2))
+	case kStore:
+		ea := isa.Addr(m.Regs[in.Src1] + in.Imm)
+		m.Mem.Store(ea, m.Regs[in.Src2])
 		rec.EA = ea
 
-	case in.IsCondBranch():
-		if isa.BranchTaken(in.Op, m.Reg(in.Src1), m.Reg(in.Src2)) {
+	case kCond:
+		if isa.BranchTaken(in.Op, m.Regs[in.Src1], m.Regs[in.Src2]) {
 			next = in.Target
 			rec.Taken = true
 		}
 
-	case in.Op == isa.OpJmp:
+	case kJmp:
 		next = in.Target
 		rec.Taken = true
 		if next == m.pc {
 			m.halted = true
 		}
 
-	case in.Op == isa.OpJmpInd:
-		next = isa.Addr(m.Reg(in.Src1))
+	case kJmpInd:
+		next = isa.Addr(m.Regs[in.Src1])
 		rec.Taken = true
 
-	case in.Op == isa.OpCall:
+	case kCall:
 		m.setReg(isa.RRA, isa.Word(m.pc+1))
 		rec.DstVal = isa.Word(m.pc + 1)
 		next = in.Target
 		rec.Taken = true
 
-	case in.Op == isa.OpRet:
-		next = isa.Addr(m.Reg(in.Src1))
+	case kRet:
+		next = isa.Addr(m.Regs[in.Src1])
 		rec.Taken = true
 
 	default:
@@ -298,4 +366,5 @@ func (m *Machine) Reset(p *program.Program) {
 	m.pc = p.Entry
 	m.seq = 0
 	m.halted = false
+	m.indexProg()
 }

@@ -13,18 +13,21 @@ import (
 // FuzzDifferentialRun is the open-ended form of the smoke suite: any
 // (seed, units) pair must generate a program whose architectural
 // behaviour is identical under the emulator and every timing ablation.
-// The per-execution budget is small so the engine explores many programs
+// The replay dimension flips each sweep between a live emulator and the
+// recorded tape + overlay fast path, so the fuzzer also hunts for
+// programs whose replayed stream diverges from live execution. The
+// per-execution budget is small so the engine explores many programs
 // per second; the 64-seed deterministic suite covers longer runs.
 func FuzzDifferentialRun(f *testing.F) {
-	f.Add(int64(1), uint64(4))
-	f.Add(int64(42), uint64(1))
-	f.Add(int64(-7), uint64(8))
-	f.Add(int64(1<<40), uint64(3))
-	f.Fuzz(func(t *testing.T, seed int64, units uint64) {
+	f.Add(int64(1), uint64(4), false)
+	f.Add(int64(42), uint64(1), false)
+	f.Add(int64(-7), uint64(8), true)
+	f.Add(int64(1<<40), uint64(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, units uint64, replay bool) {
 		spec := synth.RandSpec{Seed: seed, Units: int(1 + units%8)}
 		prog := synth.RandomProgram(spec)
-		if err := Verify(prog, Options{MaxInsts: 6_000, Trace: true}); err != nil {
-			t.Fatalf("spec %v: %v", spec, err)
+		if err := Verify(prog, Options{MaxInsts: 6_000, Trace: true, Replay: replay}); err != nil {
+			t.Fatalf("spec %v replay=%v: %v", spec, replay, err)
 		}
 	})
 }

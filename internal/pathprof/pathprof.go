@@ -18,6 +18,7 @@ import (
 	"dpbp/internal/isa"
 	"dpbp/internal/path"
 	"dpbp/internal/program"
+	"dpbp/internal/replay"
 )
 
 // pathStats aggregates one unique path.
@@ -89,12 +90,51 @@ func (c Config) Canonical() Config {
 	return c
 }
 
-// Run profiles prog under cfg.
+// Run profiles prog under cfg, simulating the baseline predictor
+// against a fresh functional run.
 func Run(prog *program.Program, cfg Config) *Profile {
 	cfg = cfg.Canonical()
+	p, observe := newProfile(prog.Name, cfg)
+	pred := bpred.New(cfg.Predictor)
+	m := emu.New(prog)
+	p.Insts = m.Run(cfg.MaxInsts, func(r *emu.Record) bool {
+		if r.Inst.IsBranch() {
+			guess := pred.Predict(r.PC, r.Inst)
+			observe(r, pred.Update(r.PC, r.Inst, guess, r.Taken, r.NextPC))
+		}
+		return true
+	})
+	return p
+}
 
+// RunTape profiles a recorded retirement stream (internal/replay),
+// reading the baseline predictor's per-branch outcomes from ov instead
+// of simulating the predictor. The overlay must have been built from t
+// with cfg's canonical Predictor, the zero backend spec, and cfg's
+// canonical MaxInsts — then the miss sequence is identical to what Run
+// would compute, and so is the Profile.
+func RunTape(t *replay.Tape, ov *replay.Overlay, cfg Config) *Profile {
+	cfg = cfg.Canonical()
+	p, observe := newProfile(t.Program().Name, cfg)
+	var bi uint64
+	p.Insts = t.Replay(cfg.MaxInsts, func(r *emu.Record) bool {
+		if r.Inst.IsBranch() {
+			_, miss := ov.Branch(bi)
+			bi++
+			observe(r, miss)
+		}
+		return true
+	})
+	return p
+}
+
+// newProfile builds an empty profile for cfg (already canonical) and the
+// per-branch-record observer that fills it. The observer must be called
+// once per retired branch record, in retirement order, with the baseline
+// predictor's mispredict outcome for that branch.
+func newProfile(bench string, cfg Config) (*Profile, func(r *emu.Record, miss bool)) {
 	p := &Profile{
-		Benchmark: prog.Name,
+		Benchmark: bench,
 		branches:  make(map[isa.Addr]*branchStats),
 	}
 	trackers := make([]*path.Tracker, len(cfg.Ns))
@@ -102,52 +142,44 @@ func Run(prog *program.Program, cfg Config) *Profile {
 		p.ByN = append(p.ByN, &NProfile{N: n, paths: make(map[path.ID]*pathStats)})
 		trackers[i] = path.NewTracker(n)
 	}
-
-	pred := bpred.New(cfg.Predictor)
-	m := emu.New(prog)
-	p.Insts = m.Run(cfg.MaxInsts, func(r *emu.Record) bool {
-		if r.Inst.IsBranch() {
-			guess := pred.Predict(r.PC, r.Inst)
-			miss := pred.Update(r.PC, r.Inst, guess, r.Taken, r.NextPC)
-			if r.Inst.IsTerminatingBranch() {
-				p.Branches++
-				if miss {
-					p.Mispredicts++
-				}
-				bs := p.branches[r.PC]
-				if bs == nil {
-					bs = &branchStats{}
-					p.branches[r.PC] = bs
-				}
-				bs.executions++
-				if miss {
-					bs.mispredicts++
-				}
-				for i, tr := range trackers {
-					if !tr.Full() {
-						continue
-					}
-					id := tr.ID(r.PC)
-					ps := p.ByN[i].paths[id]
-					if ps == nil {
-						ps = &pathStats{scope: tr.Scope(r.PC)}
-						p.ByN[i].paths[id] = ps
-					}
-					ps.occurrences++
-					if miss {
-						ps.mispredicts++
-					}
-				}
+	observe := func(r *emu.Record, miss bool) {
+		if r.Inst.IsTerminatingBranch() {
+			p.Branches++
+			if miss {
+				p.Mispredicts++
 			}
-			if r.Taken {
-				for _, tr := range trackers {
-					tr.Observe(path.TakenBranch{PC: r.PC, Target: r.NextPC, Seq: r.Seq})
+			bs := p.branches[r.PC]
+			if bs == nil {
+				bs = &branchStats{}
+				p.branches[r.PC] = bs
+			}
+			bs.executions++
+			if miss {
+				bs.mispredicts++
+			}
+			for i, tr := range trackers {
+				if !tr.Full() {
+					continue
+				}
+				id := tr.ID(r.PC)
+				ps := p.ByN[i].paths[id]
+				if ps == nil {
+					ps = &pathStats{scope: tr.Scope(r.PC)}
+					p.ByN[i].paths[id] = ps
+				}
+				ps.occurrences++
+				if miss {
+					ps.mispredicts++
 				}
 			}
 		}
-		return true
-	})
-	return p
+		if r.Taken {
+			for _, tr := range trackers {
+				tr.Observe(path.TakenBranch{PC: r.PC, Target: r.NextPC, Seq: r.Seq})
+			}
+		}
+	}
+	return p, observe
 }
 
 // Table1Row is one benchmark's slice of Table 1 for a single n.

@@ -147,6 +147,9 @@ func (c *Cache) Remove(id path.ID, seq uint64) bool {
 // Expire reclaims every entry whose Seq is at or behind the front end's
 // current fetch sequence number; such entries can never match again.
 func (c *Cache) Expire(fetchSeq uint64) {
+	if len(c.index) == 0 {
+		return
+	}
 	for i := range c.entries {
 		if c.used[i] && c.entries[i].Seq <= fetchSeq {
 			c.Stats.Expired++

@@ -1,0 +1,157 @@
+package replay
+
+import (
+	"slices"
+
+	"dpbp/internal/bpred"
+	"dpbp/internal/emu"
+)
+
+// Overlay is the recorded branch-predictor interaction for one tape
+// under one (front-end config, direction-backend spec) pair: the
+// prediction the hardware would make for each branch of the stream, in
+// retirement order, whether it mispredicted, and — at each requested
+// budget — the predictor's cumulative statistics after that prefix.
+//
+// The recording is exact because the machine calls Predict and Update
+// once per retired branch, in retirement order, with arguments drawn
+// entirely from the record stream (PC, instruction, outcome, target) —
+// so the predictor's state evolution is a pure function of the stream,
+// independent of every timing switch, and the decisions for a shorter
+// budget are a prefix of those for a longer one. One predictor pass at
+// the largest budget therefore serves every run: a timing run at 400k
+// and a profiling run at 1M read the same arrays, each taking its final
+// statistics from its own budget's checkpoint.
+//
+// An overlay is immutable after NewOverlay; like the tape it is shared
+// across runs and goroutines.
+type Overlay struct {
+	preds []bpred.Prediction
+	miss  []uint64 // bitset parallel to preds
+	cps   []Checkpoint
+}
+
+// Checkpoint is the predictor's cumulative state after one budget's
+// prefix of the stream.
+type Checkpoint struct {
+	// Budget is the record budget this checkpoint describes, as
+	// requested (the stream itself may be shorter).
+	Budget uint64
+	// branches is the number of stream branches within the budget.
+	branches uint64
+
+	stats   bpred.Stats
+	backend bpred.BackendStats
+}
+
+// NewOverlay replays the tape through a predictor built from (cfg,
+// spec), recording per-branch predictions and outcomes up to the
+// largest of budgets and a statistics checkpoint at each budget. It
+// errors on an unknown backend name, like bpred.NewFromSpec.
+func NewOverlay(t *Tape, cfg bpred.Config, spec bpred.Spec, budgets []uint64) (*Overlay, error) {
+	p, err := bpred.NewFromSpec(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	bs := append([]uint64(nil), budgets...)
+	slices.Sort(bs)
+	bs = slices.Compact(bs)
+
+	ov := &Overlay{cps: make([]Checkpoint, 0, len(bs))}
+	ci := 0
+	var n uint64
+	t.Replay(bs[len(bs)-1], func(r *emu.Record) bool {
+		if ci < len(bs) && n == bs[ci] {
+			ov.checkpoint(p, bs[ci])
+			ci++
+		}
+		n++
+		if !r.Inst.IsBranch() {
+			return true
+		}
+		pr := p.Predict(r.PC, r.Inst)
+		miss := p.Update(r.PC, r.Inst, pr, r.Taken, r.NextPC)
+		if len(ov.preds)&63 == 0 {
+			ov.miss = append(ov.miss, 0)
+		}
+		if miss {
+			ov.miss[len(ov.preds)>>6] |= 1 << (uint(len(ov.preds)) & 63)
+		}
+		ov.preds = append(ov.preds, pr)
+		return true
+	})
+	// Budgets at or past the end of the stream all see the same final
+	// state: a run bounded by any of them consumes the whole stream.
+	for ; ci < len(bs); ci++ {
+		ov.checkpoint(p, bs[ci])
+	}
+	return ov, nil
+}
+
+func (ov *Overlay) checkpoint(p *bpred.Predictor, budget uint64) {
+	ov.cps = append(ov.cps, Checkpoint{
+		Budget:   budget,
+		branches: uint64(len(ov.preds)),
+		stats:    p.Stats,
+		backend:  p.BackendStats(),
+	})
+}
+
+// Branches returns the number of branch predictions recorded.
+func (ov *Overlay) Branches() uint64 { return uint64(len(ov.preds)) }
+
+// Branch returns the i'th branch's prediction and whether the hardware
+// mispredicted it.
+func (ov *Overlay) Branch(i uint64) (bpred.Prediction, bool) {
+	return ov.preds[i], ov.miss[i>>6]&(1<<(i&63)) != 0
+}
+
+// Checkpoint returns the statistics checkpoint recorded for budget, or
+// false if the overlay was not built with it.
+func (ov *Overlay) Checkpoint(budget uint64) (*Checkpoint, bool) {
+	for i := range ov.cps {
+		if ov.cps[i].Budget == budget {
+			return &ov.cps[i], true
+		}
+	}
+	return nil, false
+}
+
+// WithOverlay attaches a prediction overlay for a run bounded by budget
+// records, making the cursor a cpu.PredictionSource. It reports false —
+// leaving the cursor unchanged — when the overlay carries no checkpoint
+// for that budget, in which case the caller should run live.
+func (c *Cursor) WithOverlay(ov *Overlay, budget uint64) bool {
+	cp, ok := ov.Checkpoint(budget)
+	if !ok {
+		return false
+	}
+	c.ov = ov
+	c.cp = cp
+	c.br = 0
+	return true
+}
+
+// HasPredictions reports whether a prediction overlay is attached; the
+// timing core only routes predictor reads through the cursor when it
+// is (see cpu.PredictionSource).
+func (c *Cursor) HasPredictions() bool { return c.ov != nil }
+
+// NextPrediction yields the overlay's prediction and hardware-
+// mispredict flag for the next branch of the stream, advancing the
+// branch ordinal. Calls must be paired one-to-one with retired
+// branches, which the machine's handleBranch guarantees.
+func (c *Cursor) NextPrediction() (bpred.Prediction, bool) {
+	pr, miss := c.ov.Branch(c.br)
+	c.br++
+	return pr, miss
+}
+
+// FinalPredStats returns the predictor statistics at the replayed run's
+// budget checkpoint. Valid for a run that consumed its whole budget —
+// every run the experiment harness replays. (A cancelled run's partial
+// Result carries these full-budget statistics; such Results are
+// discarded with their error by every caller.)
+func (c *Cursor) FinalPredStats() (bpred.Stats, bpred.BackendStats) {
+	return c.cp.stats, c.cp.backend
+}

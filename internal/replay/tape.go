@@ -1,0 +1,213 @@
+// Package replay decouples functional execution from timing simulation:
+// a program's architectural retirement stream — the sequence of
+// emu.Records the emulator produces — is recorded once per benchmark and
+// replayed into any number of timing configurations, together with the
+// branch predictor's per-branch decisions over that stream (Overlay).
+//
+// The decoupling is sound because the stream is config-invariant: the
+// timing core is execution-driven down the correct path, subordinate
+// microthreads never write emulator state (internal/analysis's
+// specpurity proves this statically, internal/oracle dynamically), so
+// every timing configuration retires the identical record sequence. A
+// replayed run therefore produces bit-identical Results to a live one;
+// TestReplayMatchesLive and the oracle's replay differential mode hold
+// this.
+//
+// # Representation
+//
+// The tape is logical, not materialized: a recording stores only the
+// program and record budget, and cursors regenerate the records by
+// re-running a pooled private emulator (the stream's length and halt
+// disposition are probed lazily, on first demand). A materialized variant — paged
+// arrays of emu.Records — was built and measured first, and lost:
+// 112 bytes/record across twenty 1M-instruction benchmarks is ~2.2 GB
+// of tape, and writing it once plus streaming it cold per run costs
+// more wall time than the ~17 ns/instruction emulator that regenerates
+// the identical records from L1-resident state. What is worth
+// materializing is the predictor interaction (an Overlay): Predict and
+// Update are orders of magnitude costlier per branch than an indexed
+// read, and one overlay is shared by every run of the sweep.
+//
+// The replay win therefore comes from three places: the predictor runs
+// once per (front-end, backend) pair instead of once per timing run;
+// the profiler consumes the same overlay instead of re-simulating the
+// predictor; and cursors recycle their emulator state (register file,
+// paged memory) across runs instead of reallocating it.
+package replay
+
+import (
+	"sync"
+
+	"dpbp/internal/emu"
+	"dpbp/internal/isa"
+	"dpbp/internal/program"
+)
+
+// Tape is an immutable recording of a program's retirement stream: the
+// first min(budget, natural length) records of prog's execution. Tapes
+// are shared — the experiment harness memoizes one per (program,
+// budget) in the run cache and replays it from many goroutines — so
+// nothing on the tape is ever mutated after Record returns; the cursor
+// pool is the only mutable state, behind its own lock.
+type Tape struct {
+	prog   *program.Program
+	budget uint64
+
+	// length and disposition are resolved lazily: recording is free, and
+	// replays bounded within the budget never need either (the stream's
+	// own halt stops them), so the probe run happens only if a caller
+	// actually asks Len, Halted, or an over-budget Covers.
+	probe  sync.Once
+	n      uint64
+	halted bool
+
+	mu   sync.Mutex
+	free []*Cursor
+}
+
+// Record returns the tape of prog's first maxInsts retirement records
+// (fewer if the program halts sooner). Recording is O(1): the stream is
+// regenerated on demand, so nothing runs until the first replay.
+func Record(prog *program.Program, maxInsts uint64) *Tape {
+	return &Tape{prog: prog, budget: maxInsts}
+}
+
+// resolve runs the probe pass that determines the tape's length and
+// halt disposition; its machine joins the cursor pool afterwards.
+func (t *Tape) resolve() {
+	t.probe.Do(func() {
+		c := t.Cursor()
+		t.n = c.st.Run(t.budget, nil)
+		t.halted = c.st.Halted()
+		t.Release(c)
+	})
+}
+
+// Program returns the program the tape records.
+func (t *Tape) Program() *program.Program { return t.prog }
+
+// Len returns the number of records on the tape.
+func (t *Tape) Len() uint64 { t.resolve(); return t.n }
+
+// Halted reports whether the recording ended at the program's halt
+// idiom (rather than at the budget).
+func (t *Tape) Halted() bool { t.resolve(); return t.halted }
+
+// Covers reports whether a run bounded by maxInsts can be replayed from
+// this tape: either the budget (and so the tape) extends at least that
+// far, or the program halted within the recording (so every longer
+// budget retires the same stream).
+func (t *Tape) Covers(maxInsts uint64) bool {
+	if maxInsts <= t.budget {
+		return true
+	}
+	t.resolve()
+	return t.halted
+}
+
+// Replay invokes visit with the first min(maxInsts, Len) records in
+// order, mirroring emu.Machine.Run's contract: it stops early when
+// visit returns false and returns the number of records visited. The
+// record pointer is reused between calls — visit must not retain it.
+func (t *Tape) Replay(maxInsts uint64, visit func(*emu.Record) bool) uint64 {
+	if maxInsts > t.budget {
+		maxInsts = t.budget
+	}
+	c := t.Cursor()
+	defer t.Release(c)
+	return c.st.Run(maxInsts, visit)
+}
+
+// Cursor returns a cursor positioned at the start of the tape, reusing
+// a previously released one (with its emulator's register file and
+// memory pages) when available. Release it with Release when the run
+// completes.
+func (t *Tape) Cursor() *Cursor {
+	t.mu.Lock()
+	var c *Cursor
+	if n := len(t.free); n > 0 {
+		c = t.free[n-1]
+		t.free = t.free[:n-1]
+	}
+	t.mu.Unlock()
+	if c == nil {
+		return &Cursor{t: t, st: emu.New(t.prog)}
+	}
+	c.rewind()
+	return c
+}
+
+// Release returns a cursor to the tape's free list for reuse. The
+// cursor must not be used afterwards.
+func (t *Tape) Release(c *Cursor) {
+	if c == nil {
+		return
+	}
+	c.ov = nil
+	c.cp = nil
+	t.mu.Lock()
+	t.free = append(t.free, c)
+	t.mu.Unlock()
+}
+
+// Cursor replays a tape as a cpu.Source: it yields the recorded stream
+// from a private emulator whose architectural state is, between any two
+// records, exactly what the machine's live emulator would hold — so the
+// spawn-context reads (registers and memory at the current fetch point)
+// and final-state queries are indistinguishable from a live run. With
+// an overlay attached (WithOverlay) it is also a cpu.PredictionSource,
+// replacing the hardware predictor's Predict/Update work per branch
+// with one indexed read.
+//
+// A Cursor belongs to one run at a time; obtain one from Tape.Cursor
+// and return it with Tape.Release.
+type Cursor struct {
+	t  *Tape
+	st *emu.Machine
+
+	ov *Overlay
+	cp *Checkpoint
+	br uint64 // index of the next branch prediction to yield
+}
+
+// rewind repositions the cursor at the start of the tape, resetting the
+// emulator in place (pages recycled, data image reinstalled).
+func (c *Cursor) rewind() {
+	c.ov = nil
+	c.cp = nil
+	c.br = 0
+	c.st.Reset(c.t.prog)
+}
+
+// PC returns the address of the next instruction.
+func (c *Cursor) PC() isa.Addr { return c.st.PC() }
+
+// Seq returns the sequence number the next Next will yield.
+func (c *Cursor) Seq() uint64 { return c.st.Seq() }
+
+// Halted reports whether the stream has ended at the program's halt
+// idiom.
+func (c *Cursor) Halted() bool { return c.st.Halted() }
+
+// Next yields the next record of the stream, returning false at the
+// halt idiom — exactly emu.Machine.Step's behaviour, because it is one.
+func (c *Cursor) Next(rec *emu.Record) bool { return c.st.Step(rec) }
+
+// Emu exposes the cursor's private replay emulator so the timing core
+// can step it directly rather than through the Source indirection (see
+// cpu's emuBacked). The machine must only be advanced record by record,
+// exactly as Next would.
+func (c *Cursor) Emu() *emu.Machine { return c.st }
+
+// Reg returns the current architectural value of r.
+func (c *Cursor) Reg(r isa.Reg) isa.Word { return c.st.Reg(r) }
+
+// Load returns the current architectural memory word at a.
+func (c *Cursor) Load(a isa.Addr) isa.Word { return c.st.Mem.Load(a) }
+
+// Regs returns the architectural register file.
+func (c *Cursor) Regs() [isa.NumRegs]isa.Word { return c.st.Regs }
+
+// SnapshotMem appends the architectural memory image (nonzero words,
+// ascending address order) to dst and returns it.
+func (c *Cursor) SnapshotMem(dst []emu.MemWord) []emu.MemWord { return c.st.Mem.Snapshot(dst) }

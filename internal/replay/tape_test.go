@@ -1,0 +1,176 @@
+package replay_test
+
+import (
+	"testing"
+
+	"dpbp/internal/emu"
+	"dpbp/internal/program"
+	"dpbp/internal/replay"
+	"dpbp/internal/synth"
+)
+
+// liveStream collects the first maxInsts retirement records of prog on a
+// fresh emulator, returning the records and whether the machine halted.
+func liveStream(prog *program.Program, maxInsts uint64) ([]emu.Record, bool) {
+	m := emu.New(prog)
+	var recs []emu.Record
+	m.Run(maxInsts, func(r *emu.Record) bool {
+		recs = append(recs, *r)
+		return true
+	})
+	return recs, m.Halted()
+}
+
+func benchProg(t *testing.T, name string) *program.Program {
+	t.Helper()
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		t.Fatalf("ProfileByName(%q): %v", name, err)
+	}
+	return synth.Generate(p)
+}
+
+// TestTapeRoundTrip replays tapes over a table of (program, budget)
+// pairs — budgets inside the stream, at its natural end, and past it —
+// and requires the replayed records to be identical, one by one, to a
+// live emulator's, with Len/Halted/Covers agreeing on the disposition.
+func TestTapeRoundTrip(t *testing.T) {
+	short := synth.Random(11, 2) // halts well before large budgets
+	bench := benchProg(t, synth.Names()[0])
+	cases := []struct {
+		name   string
+		prog   *program.Program
+		budget uint64
+	}{
+		{"bench-mid-stream", bench, 10_000},
+		{"bench-large", bench, 100_000},
+		{"short-beyond-halt", short, 1 << 20},
+		{"short-tiny", short, 7},
+		{"short-one", short, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, halted := liveStream(tc.prog, tc.budget)
+			tape := replay.Record(tc.prog, tc.budget)
+
+			i := 0
+			tape.Replay(tc.budget, func(r *emu.Record) bool {
+				if i < len(want) && *r != want[i] {
+					t.Fatalf("record %d differs:\nreplay: %+v\nlive:   %+v", i, *r, want[i])
+				}
+				i++
+				return true
+			})
+			if i != len(want) {
+				t.Fatalf("replay visited %d records, live retired %d", i, len(want))
+			}
+			if got := tape.Len(); got != uint64(len(want)) {
+				t.Errorf("Len() = %d, live stream has %d", got, len(want))
+			}
+			if tape.Halted() != halted {
+				t.Errorf("Halted() = %v, live emulator %v", tape.Halted(), halted)
+			}
+			if !tape.Covers(tc.budget) {
+				t.Error("tape does not cover its own budget")
+			}
+			if tape.Covers(tc.budget+1) != halted {
+				t.Errorf("Covers(budget+1) = %v, want %v (halted)", tape.Covers(tc.budget+1), halted)
+			}
+		})
+	}
+}
+
+// TestTapeReplayEarlyStop mirrors emu.Machine.Run's contract: Replay
+// stops when visit returns false and reports the records visited.
+func TestTapeReplayEarlyStop(t *testing.T) {
+	tape := replay.Record(synth.Random(3, 2), 1_000)
+	var seen uint64
+	n := tape.Replay(1_000, func(*emu.Record) bool {
+		seen++
+		return seen < 5
+	})
+	if n != 5 || seen != 5 {
+		t.Fatalf("Replay visited %d records (callback saw %d), want 5", n, seen)
+	}
+}
+
+// TestCursorMatchesLiveEmulator steps a cursor and a live emulator in
+// lockstep — including through the pooled-reuse path — and requires
+// identical records, architectural reads between records, and final
+// register/memory state.
+func TestCursorMatchesLiveEmulator(t *testing.T) {
+	prog := benchProg(t, synth.Names()[1])
+	const budget = 20_000
+	tape := replay.Record(prog, budget)
+
+	// Twice: the second iteration gets a recycled cursor from the pool
+	// and must behave identically to the first's fresh one.
+	for round := 0; round < 2; round++ {
+		live := emu.New(prog)
+		c := tape.Cursor()
+		var cr, lr emu.Record
+		for i := 0; i < budget; i++ {
+			if c.PC() != live.PC() || c.Seq() != live.Seq() || c.Halted() != live.Halted() {
+				t.Fatalf("round %d: position diverged before record %d", round, i)
+			}
+			ok := c.Next(&cr)
+			if lok := live.Step(&lr); ok != lok {
+				t.Fatalf("round %d: cursor Next=%v, live Step=%v at record %d", round, ok, lok, i)
+			}
+			if !ok {
+				break
+			}
+			if cr != lr {
+				t.Fatalf("round %d: record %d differs:\ncursor: %+v\nlive:   %+v", round, i, cr, lr)
+			}
+		}
+		if c.Regs() != live.Regs {
+			t.Fatalf("round %d: final register files differ", round)
+		}
+		cm, lm := c.SnapshotMem(nil), live.Mem.Snapshot(nil)
+		if len(cm) != len(lm) {
+			t.Fatalf("round %d: memory images differ in size: %d vs %d", round, len(cm), len(lm))
+		}
+		for i := range cm {
+			if cm[i] != lm[i] {
+				t.Fatalf("round %d: memory word %d differs: %+v vs %+v", round, i, cm[i], lm[i])
+			}
+		}
+		tape.Release(c)
+	}
+}
+
+// TestCursorEmuContract holds the devirtualization contract: Emu()
+// exposes the machine Next steps, so advancing it directly yields the
+// same stream Next would.
+func TestCursorEmuContract(t *testing.T) {
+	prog := synth.Random(5, 3)
+	tape := replay.Record(prog, 1_000)
+	a, b := tape.Cursor(), tape.Cursor()
+	defer tape.Release(a)
+	defer tape.Release(b)
+	var ra, rb emu.Record
+	for i := 0; i < 1_000; i++ {
+		oka := a.Next(&ra)
+		okb := b.Emu().Step(&rb)
+		if oka != okb {
+			t.Fatalf("Next=%v but Emu().Step=%v at record %d", oka, okb, i)
+		}
+		if !oka {
+			break
+		}
+		if ra != rb {
+			t.Fatalf("record %d differs via Emu(): %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestRecordIsLazy pins the O(1) recording contract: within the budget,
+// Covers answers without probing the stream, which TestTapeRoundTrip's
+// budget-exceeding cases force separately.
+func TestRecordIsLazy(t *testing.T) {
+	tape := replay.Record(synth.Random(9, 2), 1<<40) // absurd budget: a probe pass would not return
+	if !tape.Covers(1 << 39) {
+		t.Fatal("Covers within budget must hold without resolving the stream")
+	}
+}

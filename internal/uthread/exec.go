@@ -61,9 +61,10 @@ func Execute(r *Routine, env *Env) Result {
 		return regs[reg]
 	}
 
-	for _, mi := range r.Insts {
+	for i := range r.Insts {
+		mi := &r.Insts[i]
 		res.Executed++
-		in := mi.Inst
+		in := &mi.Inst
 		switch {
 		case isa.IsALU(in.Op):
 			regs[in.Dst] = isa.EvalALU(in.Op, read(in.Src1), read(in.Src2), in.Imm)

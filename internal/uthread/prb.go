@@ -32,6 +32,10 @@ type PRB struct {
 	// enforcing contiguity keeps BySeq O(1).
 	next    uint64
 	started bool
+	// at is the ring slot next written, maintained incrementally so the
+	// per-retirement push avoids a non-constant modulo. Contiguity keeps
+	// the invariant at == next%len(buf), which is what BySeq indexes by.
+	at int
 }
 
 // NewPRB returns a PRB holding capacity entries.
@@ -51,11 +55,18 @@ func (p *PRB) Len() int { return p.size }
 // Push appends a retired instruction. Sequence numbers must be contiguous;
 // Push panics otherwise (the retirement stream is in-order by definition).
 func (p *PRB) Push(e PRBEntry) {
-	if p.started && e.Rec.Seq != p.next {
-		panic("uthread: PRB push out of order")
+	if p.started {
+		if e.Rec.Seq != p.next {
+			panic("uthread: PRB push out of order")
+		}
+	} else {
+		p.started = true
+		p.at = int(e.Rec.Seq % uint64(len(p.buf)))
 	}
-	p.started = true
-	p.buf[e.Rec.Seq%uint64(len(p.buf))] = e
+	p.buf[p.at] = e
+	if p.at++; p.at == len(p.buf) {
+		p.at = 0
+	}
 	p.next = e.Rec.Seq + 1
 	if p.size < len(p.buf) {
 		p.size++
@@ -67,11 +78,18 @@ func (p *PRB) Push(e PRBEntry) {
 // intermediate copy of the record — the retirement loop calls this once
 // per instruction, so the extra ~90-byte copy was measurable.
 func (p *PRB) PushRec(rec *emu.Record, vconf, aconf bool) {
-	if p.started && rec.Seq != p.next {
-		panic("uthread: PRB push out of order")
+	if p.started {
+		if rec.Seq != p.next {
+			panic("uthread: PRB push out of order")
+		}
+	} else {
+		p.started = true
+		p.at = int(rec.Seq % uint64(len(p.buf)))
 	}
-	p.started = true
-	e := &p.buf[rec.Seq%uint64(len(p.buf))]
+	e := &p.buf[p.at]
+	if p.at++; p.at == len(p.buf) {
+		p.at = 0
+	}
 	e.Rec = *rec
 	e.VConfident = vconf
 	e.AConfident = aconf

@@ -6,6 +6,7 @@ func (p *PRB) Reset() {
 	p.size = 0
 	p.next = 0
 	p.started = false
+	p.at = 0
 }
 
 // Reset removes every routine and zeroes the statistics, keeping the map
