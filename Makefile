@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-diff profile fuzz cover ci
+.PHONY: all build vet lint test race bench bench-json bench-diff profile fuzz cover serve-smoke serve-bench ci
 
 all: build vet lint test
 
@@ -19,11 +19,11 @@ test:
 	$(GO) test ./...
 
 # race covers the packages where concurrency lives (the scheduler, the
-# experiment fan-out, the timing core, and the shared replay tapes) plus
-# the root-package determinism regression tests, which drive the fan-out
-# end to end.
+# experiment fan-out, the timing core, the shared replay tapes, and the
+# dpbpd sweep server) plus the root-package determinism regression
+# tests, which drive the fan-out end to end.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/... ./internal/replay/...
+	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/... ./internal/replay/... ./internal/serve/...
 	$(GO) test -race -run Determinism .
 
 bench:
@@ -72,4 +72,18 @@ profile:
 		> /dev/null
 	@echo "wrote $(PROFDIR)/cpu.out and $(PROFDIR)/mem.out"
 
-ci: build vet lint test race
+# serve-smoke drives the dpbpd sweep server end to end: start it,
+# submit a sweep twice, schema-check the streamed NDJSON and /metrics,
+# and assert the streamed document is byte-identical to the equivalent
+# `dpbp -format json` run (warm repeat included).
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# serve-bench runs a short self-hosted loadgen burst (20 clients x 3
+# sweeps, mixed warm/cold) and writes the throughput/latency report;
+# BENCH_pr9_serve.json is a committed capture of this target.
+SERVE_BENCH_OUT ?= BENCH_pr9_serve.json
+serve-bench:
+	$(GO) run ./cmd/dpbpd -swarm 20 -requests 3 -workers 4 -queue 16 -out $(SERVE_BENCH_OUT)
+
+ci: build vet lint test race serve-smoke

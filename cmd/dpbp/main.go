@@ -69,7 +69,9 @@ import (
 	"time"
 
 	"dpbp"
+	"dpbp/internal/exp"
 	"dpbp/internal/report"
+	"dpbp/internal/results"
 )
 
 func main() {
@@ -152,8 +154,10 @@ func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64,
 		defer cancel()
 	}
 
-	if jobs == 0 {
-		jobs = par
+	jobs, err := resolveJobs(os.Stderr, jobs, par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbp:", err)
+		return 1
 	}
 	if err := checkBackend(bpredName); err != nil {
 		fmt.Fprintln(os.Stderr, "dpbp:", err)
@@ -178,6 +182,20 @@ func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64,
 	return 0
 }
 
+// resolveJobs reconciles -j with its deprecated alias -par: any -par use
+// draws a deprecation warning, and conflicting nonzero values are an
+// error rather than silently preferring one of them.
+func resolveJobs(warnTo io.Writer, jobs, par int) (int, error) {
+	if par == 0 {
+		return jobs, nil
+	}
+	fmt.Fprintln(warnTo, "dpbp: warning: -par is deprecated; use -j")
+	if jobs != 0 && jobs != par {
+		return 0, fmt.Errorf("conflicting -j %d and -par %d; drop the deprecated -par", jobs, par)
+	}
+	return par, nil
+}
+
 // parseBenchList splits a -bench argument; empty means all benchmarks.
 func parseBenchList(s string) []string {
 	if s == "" {
@@ -191,12 +209,6 @@ func parseBenchList(s string) []string {
 		}
 	}
 	return out
-}
-
-// section is one named experiment result, in output order.
-type section struct {
-	key string
-	val any
 }
 
 // run executes the named experiment(s) and renders them to w. It is the
@@ -217,14 +229,14 @@ func runObs(ctx context.Context, w io.Writer, name, format string, opts dpbp.Exp
 	if oo.enabled() && opts.Trace == nil {
 		opts.Trace = dpbp.NewTraceCollector()
 	}
-	sections, err := collect(ctx, name, opts)
+	sections, err := exp.Collect(ctx, name, opts)
 	if err != nil {
 		return err
 	}
 	if oo.metrics {
-		sections = append(sections, section{"metrics", buildMetrics(sections, opts)})
+		sections = append(sections, results.Section{Key: "metrics", Val: buildMetrics(sections, opts)})
 	}
-	if err := render(w, format, sections); err != nil {
+	if err := report.RenderSections(w, format, sections); err != nil {
 		return err
 	}
 	if oo.traceFile != "" {
@@ -246,7 +258,7 @@ func runObs(ctx context.Context, w io.Writer, name, format string, opts dpbp.Exp
 // sets, which carry complete cpu.Results), run-cache traffic, and —
 // when tracing — the per-kind event counts and delivery-slack
 // histograms, whose totals reconcile exactly with the summed statistics.
-func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.MetricsRegistry {
+func buildMetrics(sections []results.Section, opts dpbp.ExperimentOptions) *dpbp.MetricsRegistry {
 	reg := dpbp.NewMetricsRegistry()
 	addRun := func(prefix string, r *dpbp.Result) {
 		if r == nil {
@@ -265,7 +277,7 @@ func buildMetrics(sections []section, opts dpbp.ExperimentOptions) *dpbp.Metrics
 		reg.AddStruct(prefix+".backend", r.Backend)
 	}
 	for _, s := range sections {
-		if f7, ok := s.val.(*dpbp.Figure7Result); ok {
+		if f7, ok := s.Val.(*dpbp.Figure7Result); ok {
 			for _, r := range f7.Runs {
 				addRun("fig7.base", r.Base)
 				addRun("fig7.no_prune", r.NoPrune)
@@ -303,125 +315,6 @@ func checkFormat(format string) error {
 		if format == f {
 			return nil
 		}
-	}
-	return fmt.Errorf("unknown format %q (have %v)", format, report.Formats())
-}
-
-// collect runs the named experiment, or all of them in the fixed order
-// (sharing the Figure 7-9 timing runs).
-func collect(ctx context.Context, name string, opts dpbp.ExperimentOptions) ([]section, error) {
-	one := func(key string, v any, err error) ([]section, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []section{{key, v}}, nil
-	}
-	switch name {
-	case "table1":
-		v, err := dpbp.Table1(ctx, opts)
-		return one("table1", v, err)
-	case "table2":
-		v, err := dpbp.Table2(ctx, opts)
-		return one("table2", v, err)
-	case "fig6":
-		v, err := dpbp.Figure6(ctx, opts)
-		return one("figure6", v, err)
-	case "fig7":
-		v, err := dpbp.Figure7(ctx, opts)
-		return one("figure7", v, err)
-	case "fig8":
-		v, err := dpbp.Figure8(ctx, opts)
-		return one("figure8", v, err)
-	case "fig9":
-		v, err := dpbp.Figure9(ctx, opts)
-		return one("figure9", v, err)
-	case "perfect":
-		v, err := dpbp.Perfect(ctx, opts)
-		return one("perfect", v, err)
-	case "guided":
-		v, err := dpbp.ProfileGuided(ctx, opts)
-		return one("guided", v, err)
-	case "ablations":
-		v, err := dpbp.Ablations(ctx, opts)
-		return one("ablations", v, err)
-	case "shootout":
-		v, err := dpbp.Shootout(ctx, opts)
-		return one("shootout", v, err)
-	case "all":
-		var out []section
-		t1, err := dpbp.Table1(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, section{"table1", t1})
-		t2, err := dpbp.Table2(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, section{"table2", t2})
-		pf, err := dpbp.Perfect(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, section{"perfect", pf})
-		f6, err := dpbp.Figure6(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, section{"figure6", f6})
-		runs, runErrs, err := dpbp.RunFigure7Set(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out,
-			section{"figure7", &dpbp.Figure7Result{Runs: runs, Errors: runErrs}},
-			section{"figure8", dpbp.Figure8FromRuns(runs)},
-			section{"figure9", dpbp.Figure9FromRuns(runs)})
-		return out, nil
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", name)
-	}
-}
-
-// render writes the sections to w. Text sections are separated by a blank
-// line (matching the historical output); JSON always forms one document,
-// keyed by section when more than one experiment ran; CSV sections are
-// introduced by a "# key" comment line when more than one ran.
-func render(w io.Writer, format string, sections []section) error {
-	switch format {
-	case "", report.FormatText:
-		for _, s := range sections {
-			if err := report.Text(w, s.val); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	case report.FormatJSON:
-		if len(sections) == 1 {
-			return report.JSON(w, sections[0].val)
-		}
-		doc := make(map[string]any, len(sections)+1)
-		order := make([]string, len(sections))
-		for i, s := range sections {
-			doc[s.key] = s.val
-			order[i] = s.key
-		}
-		doc["order"] = order
-		return report.JSON(w, doc)
-	case report.FormatCSV:
-		for i, s := range sections {
-			if len(sections) > 1 {
-				if i > 0 {
-					fmt.Fprintln(w)
-				}
-				fmt.Fprintf(w, "# %s\n", s.key)
-			}
-			if err := report.CSV(w, s.val); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
 	return fmt.Errorf("unknown format %q (have %v)", format, report.Formats())
 }

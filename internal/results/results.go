@@ -12,6 +12,15 @@ package results
 
 import "dpbp/internal/cpu"
 
+// Section is one named experiment result in output order: the unit the
+// renderers (internal/report) and the sweep drivers (cmd/dpbp, the
+// dpbpd server) exchange. Key is the stable section name ("table1",
+// "figure7", "metrics", ...); Val is the typed result it labels.
+type Section struct {
+	Key string
+	Val any
+}
+
 // RunError records one benchmark run that failed to produce a row:
 // a panic converted to an error by the scheduler, a cancelled or
 // timed-out context, or any other per-run failure. Results carrying a

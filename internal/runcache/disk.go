@@ -1,0 +1,188 @@
+package runcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Codec teaches the disk tier to (de)serialize one concrete value type.
+// Marshal reports false for values that are not its type (the store
+// tries codecs in order); Type tags the on-disk envelope so Get can
+// route the payload back through the right Unmarshal.
+type Codec struct {
+	// Type is the stable envelope tag, e.g. "cpu.Result". Renaming it
+	// orphans (but does not corrupt) existing entries.
+	Type string
+	// Marshal encodes v, or reports false when v is not this codec's
+	// type.
+	Marshal func(v any) ([]byte, bool)
+	// Unmarshal decodes a payload previously produced by Marshal.
+	Unmarshal func(data []byte) (any, error)
+}
+
+// DiskStats counts disk-tier traffic; see DiskStore.Stats.
+type DiskStats struct {
+	// Gets counts Get calls; GetHits the ones served from disk.
+	Gets    uint64
+	GetHits uint64
+	// GetErrors counts entries that existed but failed to read or
+	// decode (treated as misses; the entry is recomputed).
+	GetErrors uint64
+	// Puts counts Put calls; PutSkips the values no codec claimed;
+	// PutErrors the writes that failed (the value is simply not
+	// persisted).
+	Puts      uint64
+	PutSkips  uint64
+	PutErrors uint64
+}
+
+// DiskStore is a content-addressed on-disk Tier: each entry is one JSON
+// envelope file named by its sha256 Key, so entries survive process
+// restarts and are shared by any number of caches (and processes)
+// pointed at the same directory. Writes go to a temp file in the target
+// directory and are renamed into place, so concurrent writers of the
+// same key are idempotent and readers never observe a torn entry.
+//
+// The store persists only the types its codecs claim; Put reports false
+// for everything else, which the Cache records as "not written through"
+// and otherwise ignores. A corrupt or unreadable entry behaves as a
+// miss and is recomputed, never trusted.
+type DiskStore struct {
+	dir    string
+	codecs []Codec
+	byType map[string]int
+
+	mu    sync.Mutex
+	stats DiskStats
+}
+
+// envelope is the on-disk file format: the codec tag plus its payload.
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// NewDiskStore opens (creating if needed) a content-addressed store
+// rooted at dir with the given codecs.
+func NewDiskStore(dir string, codecs ...Codec) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: disk store: %w", err)
+	}
+	s := &DiskStore{dir: dir, codecs: codecs, byType: make(map[string]int, len(codecs))}
+	for i, c := range codecs {
+		if _, dup := s.byType[c.Type]; dup {
+			return nil, fmt.Errorf("runcache: disk store: duplicate codec type %q", c.Type)
+		}
+		s.byType[c.Type] = i
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *DiskStore) Stats() DiskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (s *DiskStore) path(k Key) string {
+	hex := fmt.Sprintf("%x", k[:])
+	return filepath.Join(s.dir, hex[:2], hex+".json")
+}
+
+// Get loads the entry for k, reporting false on absence, a read error,
+// an unknown codec tag, or a decode failure — all of which just mean
+// "recompute".
+func (s *DiskStore) Get(k Key) (any, bool) {
+	s.count(func(st *DiskStats) { st.Gets++ })
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.count(func(st *DiskStats) { st.GetErrors++ })
+		}
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.count(func(st *DiskStats) { st.GetErrors++ })
+		return nil, false
+	}
+	i, ok := s.byType[env.Type]
+	if !ok {
+		s.count(func(st *DiskStats) { st.GetErrors++ })
+		return nil, false
+	}
+	v, err := s.codecs[i].Unmarshal(env.Data)
+	if err != nil {
+		s.count(func(st *DiskStats) { st.GetErrors++ })
+		return nil, false
+	}
+	s.count(func(st *DiskStats) { st.GetHits++ })
+	return v, true
+}
+
+// Put persists v if some codec claims it, reporting whether the entry
+// was written. Write failures are swallowed (the tier is an optimization;
+// the computed value is still returned to callers by the Cache).
+func (s *DiskStore) Put(k Key, v any) bool {
+	s.count(func(st *DiskStats) { st.Puts++ })
+	for _, c := range s.codecs {
+		data, ok := c.Marshal(v)
+		if !ok {
+			continue
+		}
+		env, err := json.Marshal(envelope{Type: c.Type, Data: data})
+		if err != nil {
+			s.count(func(st *DiskStats) { st.PutErrors++ })
+			return false
+		}
+		if err := s.write(s.path(k), env); err != nil {
+			s.count(func(st *DiskStats) { st.PutErrors++ })
+			return false
+		}
+		return true
+	}
+	s.count(func(st *DiskStats) { st.PutSkips++ })
+	return false
+}
+
+// write atomically installs data at path via a temp file and rename.
+func (s *DiskStore) write(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// count applies one stats mutation under the lock.
+func (s *DiskStore) count(f func(*DiskStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

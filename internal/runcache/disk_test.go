@@ -1,0 +1,192 @@
+package runcache
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// payload is the round-trip test type for the disk store.
+type payload struct {
+	Name string
+	N    uint64
+	F    float64
+}
+
+func payloadCodec() Codec {
+	return Codec{
+		Type: "test.payload",
+		Marshal: func(v any) ([]byte, bool) {
+			p, ok := v.(*payload)
+			if !ok {
+				return nil, false
+			}
+			b, err := json.Marshal(p)
+			if err != nil {
+				return nil, false
+			}
+			return b, true
+		},
+		Unmarshal: func(data []byte) (any, error) {
+			p := new(payload)
+			if err := json.Unmarshal(data, p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir(), payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("disk", "round-trip")
+	want := &payload{Name: "gcc", N: 1 << 60, F: 0.3333333333333333}
+	if !s.Put(k, want) {
+		t.Fatal("Put refused a codec-claimed value")
+	}
+	v, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get missed a just-written key")
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("round trip = %+v, want %+v", v, want)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.GetHits != 1 || st.GetErrors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskStoreMissAndUnclaimed(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir(), payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KeyOf("disk", "absent")); ok {
+		t.Error("Get hit an absent key")
+	}
+	if s.Put(KeyOf("disk", "unclaimed"), "no codec for strings") {
+		t.Error("Put stored a value no codec claims")
+	}
+	st := s.Stats()
+	if st.PutSkips != 1 {
+		t.Errorf("PutSkips = %d, want 1", st.PutSkips)
+	}
+	if st.GetErrors != 0 {
+		t.Errorf("a plain miss counted as an error: %+v", st)
+	}
+}
+
+// TestDiskStoreCorruptEntryIsMiss asserts a torn or corrupted file is
+// treated as a miss (recompute), never trusted or fatal.
+func TestDiskStoreCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir, payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("disk", "corrupt")
+	if !s.Put(k, &payload{Name: "x"}) {
+		t.Fatal("seed Put failed")
+	}
+	// Corrupt the file in place.
+	if err := os.WriteFile(s.path(k), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+	if st := s.Stats(); st.GetErrors != 1 {
+		t.Errorf("GetErrors = %d, want 1", st.GetErrors)
+	}
+	// An envelope with an unknown codec tag is likewise a miss.
+	env, _ := json.Marshal(envelope{Type: "test.unknown", Data: []byte(`{}`)})
+	if err := os.WriteFile(s.path(k), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Error("unknown-type entry served as a hit")
+	}
+}
+
+// TestDiskStoreDuplicateCodec asserts construction rejects two codecs
+// sharing an envelope tag.
+func TestDiskStoreDuplicateCodec(t *testing.T) {
+	if _, err := NewDiskStore(t.TempDir(), payloadCodec(), payloadCodec()); err == nil {
+		t.Error("duplicate codec type accepted")
+	}
+}
+
+// TestCacheWithDiskTierSurvivesRestart wires the real pieces together:
+// a bounded cache backed by a DiskStore, torn down and rebuilt over the
+// same directory, must serve the old keys from disk without recomputing.
+func TestCacheWithDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	k := KeyOf("disk", "restart")
+
+	s1, err := NewDiskStore(dir, payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewBounded(Limits{MaxEntries: 8})
+	c1.SetTier(s1)
+	if _, err := c1.Do(ctx, k, func() (any, error) {
+		return &payload{Name: "warm", N: 7}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewDiskStore(dir, payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewBounded(Limits{MaxEntries: 8})
+	c2.SetTier(s2)
+	v, err := c2.Do(ctx, k, func() (any, error) {
+		t.Error("disk-resident key recomputed after restart")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := v.(*payload); p.Name != "warm" || p.N != 7 {
+		t.Errorf("restart round trip = %+v", p)
+	}
+	if st := c2.Stats(); st.TierHits != 1 || st.Computes != 1 {
+		t.Errorf("restart stats = %+v, want TierHits 1", st)
+	}
+}
+
+// TestDiskStoreSharding pins the two-level directory layout (first key
+// byte as subdirectory) so a dcache directory stays listable.
+func TestDiskStoreSharding(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir, payloadCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("disk", "shard")
+	if !s.Put(k, &payload{}) {
+		t.Fatal("Put failed")
+	}
+	rel, err := filepath.Rel(dir, s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := filepath.SplitList(rel)
+	_ = parts
+	sub := filepath.Dir(rel)
+	if len(sub) != 2 {
+		t.Errorf("shard subdirectory %q, want two hex chars", sub)
+	}
+	if _, err := os.Stat(s.path(k)); err != nil {
+		t.Errorf("entry file missing: %v", err)
+	}
+}

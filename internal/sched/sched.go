@@ -69,10 +69,22 @@ func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, 
 		// drains quickly instead of starting every remaining run.
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
+			admitted(i, false)
+			continue
+		}
+		// Admission must watch the context too: with every worker slot
+		// occupied by a long run, a bare `sem <- struct{}{}` would park
+		// the dispatcher until a slot freed, so a cancelled sweep could
+		// not drain its remaining admissions until the slow run ended.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			admitted(i, false)
 			continue
 		}
 		wg.Add(1)
-		sem <- struct{}{}
+		admitted(i, true)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -81,6 +93,21 @@ func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, 
 	}
 	wg.Wait()
 	return errs
+}
+
+// testHookAdmitted, when non-nil, observes every admission decision:
+// started reports whether run i acquired a worker slot (true) or was
+// refused by cancellation (false). It exists so the cancellation
+// regression test can assert the dispatcher drains while a slot-holding
+// worker is still blocked — Run's return value alone cannot distinguish
+// a drained dispatcher from one parked on the semaphore.
+var testHookAdmitted func(i int, started bool)
+
+// admitted reports one admission decision to the test hook.
+func admitted(i int, started bool) {
+	if h := testHookAdmitted; h != nil {
+		h(i, started)
+	}
 }
 
 // runOne executes a single run with panic recovery and the per-run

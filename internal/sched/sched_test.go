@@ -127,6 +127,63 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunCancelDrainsBlockedAdmission is the admission-select regression
+// test: with every worker slot occupied by a blocked run, cancelling the
+// context must drain the dispatcher's remaining admissions immediately —
+// it must not stay parked on the semaphore until the blocked run ends.
+// Under the pre-select dispatcher (a bare `sem <- struct{}{}`), the
+// admission decisions for runs 1 and 2 only happen after the worker is
+// released, so this test times out waiting for them.
+func TestRunCancelDrainsBlockedAdmission(t *testing.T) {
+	const n = 3
+	started := make(chan struct{})     // run 0 is occupying the only slot
+	release := make(chan struct{})     // lets run 0 finish
+	decisions := make(chan int, n)     // admission decisions, from the hook
+	testHookAdmitted = func(i int, startedRun bool) {
+		if !startedRun {
+			decisions <- i
+		}
+	}
+	defer func() { testHookAdmitted = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan []error, 1)
+	go func() {
+		done <- Run(ctx, n, Options{Parallelism: 1}, func(_ context.Context, i int) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+
+	<-started
+	cancel()
+	// The dispatcher must refuse runs 1 and 2 promptly, while run 0 is
+	// still blocked in its slot.
+	for want := 1; want <= 2; want++ {
+		select {
+		case i := <-decisions:
+			if i != want {
+				t.Fatalf("admission refusal for run %d, want %d", i, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("dispatcher did not drain admission of run %d while the worker slot was blocked", want)
+		}
+	}
+
+	close(release)
+	errs := <-done
+	if errs[0] != nil {
+		t.Errorf("blocked run err = %v, want nil", errs[0])
+	}
+	for i := 1; i < n; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("run %d err = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
 func TestRunPerRunTimeout(t *testing.T) {
 	errs := Run(context.Background(), 2, Options{Parallelism: 2, RunTimeout: 5 * time.Millisecond},
 		func(ctx context.Context, i int) error {
