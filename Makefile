@@ -19,12 +19,14 @@ test:
 	$(GO) test ./...
 
 # race covers the packages where concurrency lives (the scheduler, the
-# experiment fan-out, the timing core, the shared replay tapes, and the
-# dpbpd sweep server) plus the root-package determinism regression
-# tests, which drive the fan-out end to end.
+# experiment fan-out, the timing core — SMT suites included — the
+# shared replay tapes, and the dpbpd sweep server) plus the
+# root-package determinism regression tests, which drive the fan-out
+# end to end, and the oracle's SMT differential wall.
 race:
 	$(GO) test -race ./internal/sched/... ./internal/exp/... ./internal/cpu/... ./internal/replay/... ./internal/serve/...
 	$(GO) test -race -run Determinism .
+	$(GO) test -race -run SMT ./internal/oracle ./cmd/dpbp
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

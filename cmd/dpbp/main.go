@@ -2,12 +2,13 @@
 //
 // Usage:
 //
-//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|guided|ablations|shootout|all [flags]
+//	dpbp -exp table1|table2|fig6|fig7|fig8|fig9|perfect|guided|ablations|shootout|smt|all [flags]
 //
 // Flags:
 //
 //	-bench comp,gcc,...   benchmarks to run (default: all twenty)
 //	-bpred NAME           direction-predictor backend (hybrid, h2p, tage; default hybrid)
+//	-smt SPEC             SMT mix override for -exp smt (bench+bench[:policy][:flags])
 //	-format text|json|csv output format (default text)
 //	-insts N              timing-run instruction budget (0 = library default)
 //	-profinsts N          profiling-run instruction budget (0 = library default)
@@ -55,6 +56,19 @@
 // the hybrid baseline; it ignores -bpred's name but is not part of
 // "all" (its runs would double the budget without reproducing a paper
 // figure).
+//
+// -exp smt is the SMT interference study: benchmark pairs co-scheduled
+// as primary contexts on one machine, each mix run with everything
+// private and with the Path Cache shared, reporting per-context IPC and
+// difficult-path coverage against the solo run plus the spawn-denial
+// rate against the machine-wide microcontext budget. -smt overrides the
+// canned mix list with one spec — benchmarks joined by "+", then an
+// optional fetch policy (rr, icount) and shared-structure flags
+// (pathcache, pcache, uram, pred, all), colon-separated:
+// "gcc+ijpeg:icount:pathcache,uram". Like shootout, smt is not part of
+// "all". The same spec vocabulary drives JSON sweep configs and run
+// cache keys, so a CLI run and a dpbpd submission of one spec memoize
+// identically.
 package main
 
 import (
@@ -75,9 +89,10 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, shootout, all")
+	expName := flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, perfect, guided, ablations, shootout, smt, all")
 	bench := flag.String("bench", "", "comma-separated benchmark names (default: all)")
 	bpredName := flag.String("bpred", "", "direction-predictor backend: "+strings.Join(dpbp.PredictorBackends(), ", ")+" (default hybrid)")
+	smtSpec := flag.String("smt", "", "SMT mix override for -exp smt: bench+bench[:policy][:flags]")
 	format := flag.String("format", "", "output format: text, json, csv (default text)")
 	insts := flag.Uint64("insts", 0, "timing-run instruction budget (0 = library default)")
 	profInsts := flag.Uint64("profinsts", 0, "profiling-run instruction budget (0 = library default)")
@@ -92,7 +107,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	os.Exit(mainExit(*expName, *bench, *bpredName, *format, *insts, *profInsts, *jobs, *par,
+	os.Exit(mainExit(*expName, *bench, *bpredName, *smtSpec, *format, *insts, *profInsts, *jobs, *par,
 		*timeout, *noCache, *noReplay, obsOpts{traceFile: *traceFile, metrics: *metrics},
 		*cpuProfile, *memProfile))
 }
@@ -111,7 +126,7 @@ func (o obsOpts) enabled() bool { return o.traceFile != "" || o.metrics }
 
 // mainExit is main minus os.Exit, so profile writers run via defer before
 // the process terminates.
-func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64, jobs, par int,
+func mainExit(expName, bench, bpredName, smtSpec, format string, insts, profInsts uint64, jobs, par int,
 	timeout time.Duration, noCache, noReplay bool, oo obsOpts, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -163,11 +178,17 @@ func mainExit(expName, bench, bpredName, format string, insts, profInsts uint64,
 		fmt.Fprintln(os.Stderr, "dpbp:", err)
 		return 1
 	}
+	smt, err := exp.ParseSMTSpec(smtSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbp:", err)
+		return 1
+	}
 	opts := dpbp.ExperimentOptions{
 		Benchmarks:   parseBenchList(bench),
 		TimingInsts:  insts,
 		ProfileInsts: profInsts,
 		Parallelism:  jobs,
+		SMT:          smt,
 	}
 	opts.BPred.Name = bpredName
 	opts.NoReplay = noReplay

@@ -357,6 +357,91 @@ func TestRunShootoutTextAndCSV(t *testing.T) {
 	}
 }
 
+// TestRunSMTJSON is the CI smoke test for the SMT interference study: a
+// tiny overridden mix must emit one valid JSON document whose mixes,
+// variants, and per-context rows are fully populated.
+func TestRunSMTJSON(t *testing.T) {
+	opts := tiny()
+	var err error
+	if opts.SMT, err = dpbp.ParseSMTSpec("comp+comp"); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := run(context.Background(), &b, "smt", "json", opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		FetchPolicy string `json:"fetch_policy"`
+		Mixes       []struct {
+			Name     string `json:"name"`
+			Variants []struct {
+				Sharing    string  `json:"sharing"`
+				MachineIPC float64 `json:"machine_ipc"`
+				Contexts   []struct {
+					Bench   string  `json:"bench"`
+					IPC     float64 `json:"ipc"`
+					SoloIPC float64 `json:"solo_ipc"`
+				} `json:"contexts"`
+			} `json:"variants"`
+		} `json:"mixes"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.FetchPolicy != "rr" {
+		t.Errorf("fetch policy = %q", doc.FetchPolicy)
+	}
+	if len(doc.Mixes) != 1 || doc.Mixes[0].Name != "comp+comp" {
+		t.Fatalf("unexpected mixes: %s", b.String())
+	}
+	if len(doc.Mixes[0].Variants) != 2 {
+		t.Fatalf("want both sharing variants: %s", b.String())
+	}
+	for _, v := range doc.Mixes[0].Variants {
+		if v.Sharing == "" || v.MachineIPC <= 0 || len(v.Contexts) != 2 {
+			t.Errorf("incomplete variant: %+v", v)
+		}
+		for _, c := range v.Contexts {
+			if c.Bench != "comp" || c.IPC <= 0 || c.SoloIPC <= 0 {
+				t.Errorf("incomplete context row: %+v", c)
+			}
+		}
+	}
+}
+
+func TestRunSMTTextAndCSV(t *testing.T) {
+	opts := tiny()
+	var err error
+	if opts.SMT, err = dpbp.ParseSMTSpec("comp+comp:icount"); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := run(context.Background(), &txt, "smt", "", opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SMT", "icount", "comp+comp", "private", "shared-pathcache"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("smt text missing %q:\n%s", want, txt.String())
+		}
+	}
+	var csvOut bytes.Buffer
+	if err := run(context.Background(), &csvOut, "smt", "csv", opts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "mix,sharing,") {
+		t.Errorf("unexpected smt CSV:\n%s", csvOut.String())
+	}
+}
+
+// TestRunSMTBadSpec pins the CLI-facing error path: an unknown benchmark
+// in an -smt spec fails before any experiment runs.
+func TestRunSMTBadSpec(t *testing.T) {
+	if _, err := dpbp.ParseSMTSpec("comp+nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("ParseSMTSpec(comp+nope) = %v", err)
+	}
+}
+
 // TestRunBPredFlagChangesRuns exercises the -bpred plumbing end to end:
 // a TAGE-backed fig7 run must succeed and differ from the default's
 // output (different predictor, different timings).

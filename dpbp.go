@@ -21,6 +21,8 @@
 package dpbp
 
 import (
+	"context"
+
 	"dpbp/internal/bpred"
 	"dpbp/internal/cpu"
 	"dpbp/internal/pathprof"
@@ -124,6 +126,47 @@ const (
 // statistics surface (IPC, mispredictions, spawn/abort counts, timeliness,
 // builder and Prediction Cache statistics).
 type Result = cpu.Result
+
+// SMTConfig joins multiple primary contexts into one machine
+// (MachineConfig.SMT). The zero value is the single-thread machine —
+// bit-identical to a config without the field. Contexts names the
+// co-scheduled workloads, FetchPolicy picks the arbiter, and the Shared*
+// flags select which structures the contexts contend over.
+type SMTConfig = cpu.SMTConfig
+
+// WorkloadRef names one SMT primary context's benchmark.
+type WorkloadRef = cpu.WorkloadRef
+
+// FetchPolicy selects the SMT fetch arbiter.
+type FetchPolicy = cpu.FetchPolicy
+
+// SMT fetch arbitration policies.
+const (
+	// FetchRoundRobin grants fetch slots to contexts in rotation.
+	FetchRoundRobin = cpu.FetchRoundRobin
+	// FetchICount favors the context with the fewest in-flight fetches.
+	FetchICount = cpu.FetchICount
+)
+
+// SMTResult is the outcome of an SMT timing run: one full Result per
+// context plus the machine span and shared-structure snapshot.
+type SMTResult = cpu.SMTResult
+
+// RunSMT co-schedules the workloads as SMT primary contexts on one
+// configured machine. cfg.SMT.Contexts must name one entry per workload
+// (RunSMT fills them from the workload names when empty).
+func RunSMT(ctx context.Context, ws []*Workload, cfg MachineConfig) (*SMTResult, error) {
+	if len(cfg.SMT.Contexts) == 0 {
+		for _, w := range ws {
+			cfg.SMT.Contexts = append(cfg.SMT.Contexts, WorkloadRef{Bench: w.Name})
+		}
+	}
+	progs := make([]*program.Program, len(ws))
+	for i, w := range ws {
+		progs[i] = w.Program
+	}
+	return cpu.RunSMT(ctx, progs, cfg)
+}
 
 // PredictorSpec selects and sizes the direction-predictor backend of a
 // timing run (MachineConfig.BPred). The zero value is the paper's

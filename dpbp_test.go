@@ -203,3 +203,49 @@ func TestDefaultProfileTemplate(t *testing.T) {
 		t.Error("template workload did not run")
 	}
 }
+
+// TestSMTAPI exercises the root-package SMT surface end to end:
+// ParseSMTSpec builds the config, RunSMT co-schedules workloads
+// directly, and SMTStudy runs the experiment wrapper.
+func TestSMTAPI(t *testing.T) {
+	smt, err := ParseSMTSpec("comp+li:icount:pathcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smt.Contexts) != 2 || smt.FetchPolicy != FetchICount || !smt.SharedPathCache {
+		t.Fatalf("ParseSMTSpec: %+v", smt)
+	}
+	if _, err := ParseSMTSpec("comp+bogus"); err == nil {
+		t.Error("bogus SMT spec accepted")
+	}
+
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 30_000
+	cfg.SMT.FetchPolicy = FetchRoundRobin
+	ws := []*Workload{MustWorkload("comp"), MustWorkload("li")}
+	res, err := RunSMT(context.Background(), ws, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contexts) != 2 || res.IPC() <= 0 || res.Cycles == 0 {
+		t.Fatalf("RunSMT result malformed: %+v", res)
+	}
+	for i, c := range res.Contexts {
+		if c.Insts == 0 {
+			t.Errorf("context %d retired nothing", i)
+		}
+	}
+
+	o := ExperimentOptions{TimingInsts: 30_000, ProfileInsts: 30_000, SMT: smt}
+	study, err := SMTStudy(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Mixes) != 1 || study.Mixes[0].Name != "comp+li" {
+		t.Fatalf("SMTStudy mixes: %+v", study.Mixes)
+	}
+	out := text(t, study)
+	if !strings.Contains(out, "SMT") || !strings.Contains(out, "icount") {
+		t.Errorf("SMT study render missing headers:\n%s", out)
+	}
+}

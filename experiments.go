@@ -189,3 +189,22 @@ type ShootoutResult = exp.ShootoutResult
 func Shootout(ctx context.Context, o ExperimentOptions) (*ShootoutResult, error) {
 	return exp.Shootout(ctx, o)
 }
+
+// SMTExperimentResult holds the SMT interference study: benchmark mixes
+// co-scheduled as primary contexts, per-context IPC and difficult-path
+// coverage vs solo, and contended-spawn denial rates, under private and
+// shared structure variants.
+type SMTExperimentResult = exp.SMTResult
+
+// SMTStudy runs the SMT interference study. ExperimentOptions.SMT, when
+// it carries contexts, overrides the canned mix list, fetch policy, and
+// shared-variant flags; ParseSMTSpec builds one from the CLI's -smt
+// vocabulary.
+func SMTStudy(ctx context.Context, o ExperimentOptions) (*SMTExperimentResult, error) {
+	return exp.SMT(ctx, o)
+}
+
+// ParseSMTSpec parses the -smt spec vocabulary
+// ("bench+bench[:policy][:flags]") into the SMTConfig that
+// ExperimentOptions.SMT and MachineConfig.SMT accept.
+func ParseSMTSpec(s string) (SMTConfig, error) { return exp.ParseSMTSpec(s) }

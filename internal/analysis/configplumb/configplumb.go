@@ -53,9 +53,9 @@ func isPlumbingFunc(name string) bool {
 
 // configStructNames are the package-level struct type names whose fields
 // the unread-field pass tracks. Spec joined Config with the predictor-
-// backend registry: a bpred.Spec field that nothing reads is as dead as
-// an unread Config knob.
-var configStructNames = []string{"Config", "Spec"}
+// backend registry, and SMTConfig with multi-context machines: a field
+// of either that nothing reads is as dead as an unread Config knob.
+var configStructNames = []string{"Config", "Spec", "SMTConfig"}
 
 // --- module pass: unread Config fields -------------------------------
 

@@ -57,3 +57,12 @@ func (s Spec) Canonical() Spec {
 	}
 	return s
 }
+
+// SMTConfig is tracked like Config: the multi-context join whose fields
+// must reach the arbiter or the sharing logic.
+type SMTConfig struct {
+	// FetchPolicy is read by Arbitrate: fully plumbed.
+	FetchPolicy int
+	// GhostFlag is canonicalized but never consulted.
+	GhostFlag bool // want `config field cpu\.SMTConfig\.GhostFlag is never read outside config plumbing`
+}

@@ -30,3 +30,9 @@ func Run(cfg Config) uint64 {
 func NewBackend(s Spec) string {
 	return s.Canonical().Name
 }
+
+// Arbitrate consumes SMTConfig.FetchPolicy (a behavioural read), leaving
+// GhostFlag plumbing-only.
+func Arbitrate(s SMTConfig) int {
+	return s.FetchPolicy * 2
+}

@@ -178,8 +178,15 @@ type Config struct {
 	L1IWords int
 	L1IWays  int
 
-	// MaxInsts bounds the run (primary-thread instructions).
+	// MaxInsts bounds the run (primary-thread instructions; per primary
+	// context in SMT runs).
 	MaxInsts uint64
+
+	// SMT configures multi-primary-context runs (see SMTConfig and
+	// SMTMachine). The zero value is exactly today's single-thread
+	// machine: RunContext ignores it, and an SMT run with one context and
+	// all structures private is DeepEqual to the equivalent solo run.
+	SMT SMTConfig
 
 	// OnBuild, if set, is invoked with every routine the Microthread
 	// Builder constructs (including rebuilds). It is an observation
@@ -194,6 +201,13 @@ type Config struct {
 	// emulator can diff the streams. The record is reused between calls
 	// and must not be retained; mutating it is not allowed.
 	OnRetire func(*emu.Record)
+
+	// OnRetireCtx is OnRetire with the retiring primary context's index:
+	// SMT runs invoke it for every context's records, which is what lets
+	// the differential oracle lockstep-verify each context against its
+	// own reference emulator. Single-thread runs invoke it with context
+	// 0. The same retention rules as OnRetire apply.
+	OnRetireCtx func(int, *emu.Record)
 
 	// Obs, if set, receives structured lifecycle events and occupancy
 	// samples from the run (see internal/obs). A nil tracer disables
@@ -342,5 +356,6 @@ func (c Config) withDefaults() Config {
 	// canonical form must apply the same filling or two configurations
 	// that build identical hierarchies would key differently.
 	c.Mem = c.Mem.Canonical()
+	c.SMT = c.SMT.Canonical()
 	return c
 }

@@ -111,6 +111,18 @@ type Machine struct {
 	takenRing [takenRingSize]isa.Addr
 	takenCnt  uint64
 
+	// SMT identity. ctxID tags obs events and Prediction Cache entries
+	// with the owning primary context; smt, when non-nil, is the SMT
+	// run's machine-wide microcontext budget that spawns compete for.
+	// fcStride/fcPhase pin this thread's fetch cycles onto its
+	// round-robin slot lattice (cycle ≡ fcPhase mod fcStride); a stride
+	// of 0 or 1 disables the lattice. Reset zeroes all four — solo runs
+	// never see them — and RunSMT assigns them after Reset.
+	ctxID    uint8
+	smt      *smtShared
+	fcStride uint64
+	fcPhase  uint64
+
 	// obs is the run's lifecycle tracer (nil when tracing is off). Every
 	// emit site guards with a nil check on the concrete pointer, so the
 	// disabled path costs one compare and the simulation never reads it.
@@ -299,6 +311,11 @@ func (m *Machine) Reset(prog *program.Program, cfg Config) {
 	m.lastRet = 0
 	m.retCount = 0
 
+	m.ctxID = 0
+	m.smt = nil
+	m.fcStride = 0
+	m.fcPhase = 0
+
 	// Tracing: the Path Cache shares the machine's tracer so its events
 	// carry fetch-cycle timestamps (via SetNow in execute).
 	m.obs = cfg.Obs
@@ -343,73 +360,113 @@ func (m *Machine) RunContext(ctx context.Context, prog *program.Program, cfg Con
 func (m *Machine) RunContextFrom(ctx context.Context, prog *program.Program, cfg Config, src Source) (*Result, error) {
 	m.Reset(prog, cfg)
 	cfg = m.cfg // defaults applied
+	var rs runState
+	m.beginRun(src, &rs)
+	for m.res.Insts < cfg.MaxInsts && !rs.halted {
+		if m.res.Insts%ctxCheckInterval == 0 && ctx.Err() != nil {
+			break
+		}
+		if !m.stepOne(&rs) {
+			break
+		}
+	}
+	m.finishRun()
+	out := m.res
+	return &out, ctx.Err()
+}
+
+// runState is the per-thread progress of one timing run: the locally
+// tracked stream position plus the devirtualized stepper. RunContextFrom
+// drives one to completion; RunSMT interleaves one per primary context
+// under the fetch arbiter.
+type runState struct {
+	rec    emu.Record
+	pc     isa.Addr
+	seq    uint64
+	halted bool
+	// stepEm devirtualizes stepping when the source is a shell over an
+	// emulator (both the live source and the replay cursor are); nil
+	// falls back to the interface.
+	stepEm *emu.Machine
+	// expire: only microthread runs populate the prediction cache, so
+	// only they have entries to expire.
+	expire bool
+}
+
+// beginRun points the machine at its instruction source (nil src keeps
+// the private emulator) and initializes rs at the source's position.
+// Must follow Reset; pc and seq track the source's fetch point locally —
+// after each record they are rec.NextPC and rec.Seq+1 by the stream
+// contract, so the run loop pays one source call per instruction (Next)
+// instead of four.
+func (m *Machine) beginRun(src Source, rs *runState) {
 	if src != nil {
 		m.src = src
 		if ps, ok := src.(PredictionSource); ok && ps.HasPredictions() {
 			m.preds = ps
 		}
 	}
-	// Devirtualize stepping when the source is a shell over an emulator
-	// (both the live source and the replay cursor are); stepEm == nil
-	// falls back to the interface.
-	var stepEm *emu.Machine
+	rs.stepEm = nil
 	if eb, ok := m.src.(emuBacked); ok {
-		stepEm = eb.Emu()
+		rs.stepEm = eb.Emu()
 	}
+	rs.pc, rs.seq = m.src.PC(), m.src.Seq()
+	rs.halted = m.src.Halted()
+	rs.expire = m.cfg.Mode == ModeMicrothread
+}
 
-	// pc and seq track the source's fetch point locally: after each
-	// record they are rec.NextPC and rec.Seq+1 by the stream contract,
-	// so the loop pays one source call per instruction (Next) instead
-	// of four. The halt idiom (an unconditional self-jump) is likewise
-	// detected from the record, exactly when the source's Halted would
-	// turn true.
-	var rec emu.Record
-	pc, seq := m.src.PC(), m.src.Seq()
-	halted := m.src.Halted()
-	// Only microthread runs populate the prediction cache, so only they
-	// have entries to expire.
-	expire := cfg.Mode == ModeMicrothread
-	for m.res.Insts < cfg.MaxInsts && !halted {
-		if m.res.Insts%ctxCheckInterval == 0 && ctx.Err() != nil {
-			break
+// stepOne fetches, executes, and retires the machine's next primary
+// instruction. It returns false when the source is exhausted; the halt
+// idiom (an unconditional self-jump) turns rs.halted true instead,
+// exactly when the source's Halted would. The operation order is the
+// single-thread run loop's, unchanged — RunContextFrom is a straight
+// loop over stepOne, which is what keeps solo runs and 1-context SMT
+// runs bit-identical to the pre-SMT machine.
+func (m *Machine) stepOne(rs *runState) bool {
+	fc := m.fetchCycleFor(rs.pc, m.isBr[rs.pc], rs.seq)
+	if m.obs != nil {
+		// Stamp subsequent events (including the Path Cache's, which
+		// has no clock of its own) with this instruction's fetch cycle
+		// and owning context, and take a periodic occupancy sample.
+		m.obs.SetNow(fc)
+		m.obs.SetCtx(m.ctxID)
+		if m.obs.ShouldSample(fc) {
+			m.obs.AddSample(obs.Sample{
+				Cycle:      fc,
+				ActiveCtxs: m.activeCtxs,
+				WindowOcc:  m.windowOcc(fc),
+				FetchSlots: m.instsThis,
+			})
 		}
-		fc := m.fetchCycleFor(pc, m.isBr[pc], seq)
-		if m.obs != nil {
-			// Stamp subsequent events (including the Path Cache's, which
-			// has no clock of its own) with this instruction's fetch cycle,
-			// and take a periodic occupancy sample.
-			m.obs.SetNow(fc)
-			if m.obs.ShouldSample(fc) {
-				m.obs.AddSample(obs.Sample{
-					Cycle:      fc,
-					ActiveCtxs: m.activeCtxs,
-					WindowOcc:  m.windowOcc(fc),
-					FetchSlots: m.instsThis,
-				})
-			}
-		}
-		if cfg.Mode == ModeMicrothread {
-			m.trySpawns(pc, seq, fc)
-		}
-		if stepEm != nil {
-			if !stepEm.Step(&rec) {
-				break
-			}
-		} else if !m.src.Next(&rec) {
-			break
-		}
-		m.res.Insts++
-		m.execute(&rec, fc)
-		if cfg.OnRetire != nil {
-			cfg.OnRetire(&rec)
-		}
-		if expire && rec.Seq%64 == 0 {
-			m.predCache.Expire(rec.Seq)
-		}
-		halted = rec.Inst.Op == isa.OpJmp && rec.NextPC == rec.PC
-		pc, seq = rec.NextPC, rec.Seq+1
 	}
+	if m.cfg.Mode == ModeMicrothread {
+		m.trySpawns(rs.pc, rs.seq, fc)
+	}
+	if rs.stepEm != nil {
+		if !rs.stepEm.Step(&rs.rec) {
+			return false
+		}
+	} else if !m.src.Next(&rs.rec) {
+		return false
+	}
+	m.res.Insts++
+	m.execute(&rs.rec, fc)
+	if m.cfg.OnRetire != nil {
+		m.cfg.OnRetire(&rs.rec)
+	}
+	if m.cfg.OnRetireCtx != nil {
+		m.cfg.OnRetireCtx(int(m.ctxID), &rs.rec)
+	}
+	if rs.expire && rs.rec.Seq%64 == 0 {
+		m.predCache.Expire(m.ctxID, rs.rec.Seq)
+	}
+	rs.halted = rs.rec.Inst.Op == isa.OpJmp && rs.rec.NextPC == rs.rec.PC
+	rs.pc, rs.seq = rs.rec.NextPC, rs.rec.Seq+1
+	return true
+}
 
+// finishRun assembles the run's statistics into m.res.
+func (m *Machine) finishRun() {
 	m.res.Cycles = m.lastRet
 	if m.preds != nil {
 		m.res.PredStats, m.res.Backend = m.preds.FinalPredStats()
@@ -424,8 +481,6 @@ func (m *Machine) RunContextFrom(ctx context.Context, prog *program.Program, cfg
 	m.res.AvgDepChain = m.builder.Stats.AvgChain()
 	m.res.L1MissRate = m.msys.L1.MissRate()
 	m.res.L2MissRate = m.msys.L2.MissRate()
-	out := m.res
-	return &out, ctx.Err()
 }
 
 // ArchRegs returns the architectural register file as of the last retired
@@ -456,6 +511,23 @@ func (m *Machine) advanceCycle() {
 	m.resetFetch()
 }
 
+// alignFetch snaps the front-end clock forward onto this thread's
+// round-robin fetch-slot lattice (cycles ≡ fcPhase mod fcStride): under
+// the round-robin arbiter each of K co-running primaries owns every K-th
+// fetch cycle, which is how the single-thread front-end model shares its
+// fetch bandwidth without simulating per-slot port arbitration. Solo
+// runs and icount-arbitrated runs leave fcStride at 0, making this a
+// no-op.
+func (m *Machine) alignFetch() {
+	if m.fcStride <= 1 {
+		return
+	}
+	if r := m.fc % m.fcStride; r != m.fcPhase {
+		m.fc += (m.fcPhase + m.fcStride - r) % m.fcStride
+		m.resetFetch()
+	}
+}
+
 // fetchCycleFor computes the fetch cycle of the instruction at pc with
 // dynamic index i, advancing the front-end state: redirect gaps, window
 // occupancy gating, fetch width, branch-prediction bandwidth, and I-cache
@@ -479,6 +551,7 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, isBr bool, i uint64) uint64 {
 	}
 
 	for {
+		m.alignFetch()
 		if m.instsThis >= m.cfg.FetchWidth {
 			m.advanceCycle()
 			continue
@@ -501,6 +574,7 @@ func (m *Machine) fetchCycleFor(pc isa.Addr, isBr bool, i uint64) uint64 {
 			if !m.l1i.Access(pc) && !sequential {
 				m.fc += uint64(m.cfg.ICacheMissPenalty)
 				m.resetFetch()
+				m.alignFetch()
 			}
 			m.lastLine = line
 			m.haveLine = true
@@ -687,7 +761,7 @@ func (m *Machine) handleBranch(rec *emu.Record, fc, resolve uint64, termID path.
 		}
 	case ModeMicrothread:
 		if cfg.UsePredictions {
-			if e, ok := m.predCache.Consume(termID, rec.Seq); ok {
+			if e, ok := m.predCache.Consume(m.ctxID, termID, rec.Seq); ok {
 				eNext := e.Target
 				if in.IsCondBranch() && !e.Taken {
 					eNext = rec.PC + 1

@@ -84,6 +84,19 @@ func (m *Machine) trySpawns(pc isa.Addr, seq uint64, fc uint64) {
 			}
 			continue
 		}
+		// SMT: microcontexts are a machine-wide budget. This thread has a
+		// free slot of its own, but co-runners' in-flight microthreads may
+		// hold the shared allocation — a distinct denial cause with its
+		// own counter, checked after the local one so solo accounting is
+		// untouched (solo, the local array is the whole budget and the
+		// shared check can never fire).
+		if m.smt != nil && m.smt.active >= m.smt.limit {
+			m.res.Micro.CoRunnerDenied++
+			if m.obs != nil {
+				m.obs.Emit(obs.KindSpawnDropCoRunner, uint64(r.PathID), seq, 0)
+			}
+			continue
+		}
 		m.spawn(ci, r, seq, fc)
 	}
 }
@@ -134,6 +147,9 @@ func (m *Machine) activate(i int) {
 	m.ctxs[i].active = true
 	m.activeCtxs++
 	m.activeBits[i>>6] |= 1 << (i & 63)
+	if m.smt != nil {
+		m.smt.active++
+	}
 }
 
 //dpbp:speculative
@@ -141,6 +157,9 @@ func (m *Machine) deactivate(i int) {
 	m.ctxs[i].active = false
 	m.activeCtxs--
 	m.activeBits[i>>6] &^= 1 << (i & 63)
+	if m.smt != nil {
+		m.smt.active--
+	}
 }
 
 // spawn allocates a microcontext, functionally executes the routine
@@ -236,6 +255,7 @@ func (m *Machine) spawn(ci int, r *uthread.Routine, seq, fc uint64) {
 
 	if m.cfg.UsePredictions {
 		m.predCache.Write(pcache.Entry{
+			Ctx:    m.ctxID,
 			PathID: r.PathID,
 			Seq:    targetSeq,
 			Taken:  fr.Taken,
@@ -357,7 +377,7 @@ func (m *Machine) abortContext(ci int, fc uint64) {
 		}
 	}
 	if ctx.wrote && ctx.delivery > fc {
-		m.predCache.Remove(ctx.r.PathID, ctx.targetSeq)
+		m.predCache.Remove(m.ctxID, ctx.r.PathID, ctx.targetSeq)
 	}
 	m.deactivate(ci)
 }

@@ -34,7 +34,45 @@ func resetTestConfigs() []Config {
 			c.H2PSpawnGate = true
 			c.BPred.H2P.H2PThreshold = 2
 		}),
+		mk(func(c *Config) { // solo RunContext ignores the SMT block entirely
+			c.SMT = SMTConfig{
+				Contexts:        []WorkloadRef{{Bench: "gcc"}, {Bench: "ijpeg"}},
+				FetchPolicy:     FetchICount,
+				SharedPathCache: true,
+				SharedPCache:    true,
+			}
+		}),
 		mk(func(c *Config) {}), // back to default after every resize
+	}
+}
+
+// TestResetClearsSMTState is the reset-vs-fresh contract for the SMT
+// per-thread fields: a machine that served as an SMT primary context
+// (context ID, shared budget, fetch-slot lattice all set) must, after
+// Reset, run bit-identically to a fresh machine.
+func TestResetClearsSMTState(t *testing.T) {
+	p, err := synth.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := synth.Generate(p)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 20_000
+
+	dirty := NewMachine()
+	dirty.Reset(prog, cfg)
+	dirty.ctxID = 3
+	dirty.smt = &smtShared{active: 2, limit: 4}
+	dirty.fcStride = 4
+	dirty.fcPhase = 3
+
+	fresh := Run(prog, cfg)
+	got, err := dirty.RunContext(context.Background(), prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, got) {
+		t.Errorf("SMT-dirtied machine diverged after Reset\nfresh: %+v\ndirty: %+v", fresh, got)
 	}
 }
 

@@ -16,10 +16,16 @@ type MicroStats struct {
 	// microcontext exhaustion are distinct causes and counted apart.
 	AttemptedSpawns     uint64
 	PrefixMismatchDrops uint64 // Path_History screen rejected the instance
-	NoContextDrops      uint64 // all microcontexts were busy
-	Spawned             uint64
-	AbortedActive       uint64 // aborted after allocation, before completion
-	Completed           uint64
+	NoContextDrops      uint64 // all of this thread's microcontexts were busy
+	// CoRunnerDenied counts spawns this thread had a free microcontext
+	// for but the machine-wide budget refused because SMT co-runners'
+	// microthreads held the remaining slots. Always zero outside SMT
+	// runs: solo, the thread's own contexts are the whole budget, so
+	// every exhaustion lands in NoContextDrops exactly as before.
+	CoRunnerDenied uint64
+	Spawned        uint64
+	AbortedActive  uint64 // aborted after allocation, before completion
+	Completed      uint64
 
 	// Prediction delivery (Figure 9 categories; consumed predictions
 	// only — predictions for branches never reached are excluded, as in
@@ -56,10 +62,11 @@ type MicroStats struct {
 }
 
 // PreAllocationDrops returns the total spawn attempts aborted before a
-// microcontext was allocated, for either cause. (Older versions lumped
-// both causes into NoContextDrops; this is the equivalent total.)
+// microcontext was allocated, for any cause. (Older versions lumped the
+// first two causes into NoContextDrops; CoRunnerDenied joins the total
+// because an SMT-denied spawn likewise never held a microcontext.)
 func (m *MicroStats) PreAllocationDrops() uint64 {
-	return m.PrefixMismatchDrops + m.NoContextDrops
+	return m.PrefixMismatchDrops + m.NoContextDrops + m.CoRunnerDenied
 }
 
 // AbortPreFraction returns the fraction of attempted spawns aborted before

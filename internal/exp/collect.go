@@ -12,7 +12,7 @@ import (
 // runs; "shootout" and "ablations" are the extension studies.
 var experimentNames = []string{
 	"table1", "table2", "fig6", "fig7", "fig8", "fig9",
-	"perfect", "guided", "ablations", "shootout", "all",
+	"perfect", "guided", "ablations", "shootout", "smt", "all",
 }
 
 // ExperimentNames returns the experiment names Collect accepts, in
@@ -75,6 +75,9 @@ func Collect(ctx context.Context, name string, o Options) ([]results.Section, er
 	case "shootout":
 		v, err := Shootout(ctx, o)
 		return one("shootout", v, err)
+	case "smt":
+		v, err := SMT(ctx, o)
+		return one("smt", v, err)
 	case "all":
 		var out []results.Section
 		t1, err := Table1(ctx, o)

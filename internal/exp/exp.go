@@ -67,6 +67,11 @@ type Options struct {
 	// mirroring the cache's -nocache. Replay requires a Cache (the tape
 	// is memoized there), so a cacheless harness is implicitly live.
 	NoReplay bool
+	// SMT, when enabled, overrides the SMT interference study's workload
+	// mix, fetch policy, and sharing flags (the CLI's -smt flag; see
+	// ParseSMTSpec for the spec vocabulary). Only the "smt" experiment
+	// reads it.
+	SMT cpu.SMTConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -86,12 +91,17 @@ func (o Options) withDefaults() Options {
 }
 
 // programs generates the selected benchmarks, failing fast on bad names.
-// With a cache, generation is memoized by name (the generator is
-// deterministic) and the block structure and fingerprint are precomputed,
-// so the shared Program is immutable from then on.
 func (o Options) programs() ([]*program.Program, error) {
-	progs := make([]*program.Program, len(o.Benchmarks))
-	for i, name := range o.Benchmarks {
+	return o.programsFor(o.Benchmarks)
+}
+
+// programsFor generates the named benchmarks. With a cache, generation
+// is memoized by name (the generator is deterministic) and the block
+// structure and fingerprint are precomputed, so the shared Program is
+// immutable from then on.
+func (o Options) programsFor(names []string) ([]*program.Program, error) {
+	progs := make([]*program.Program, len(names))
+	for i, name := range names {
 		p, err := synth.ProfileByName(name)
 		if err != nil {
 			return nil, err

@@ -29,7 +29,8 @@ const (
 	// Spawning (internal/cpu, trySpawns/spawn).
 	KindSpawnAttempt       Kind = iota // a routine's spawn point was fetched
 	KindSpawnDropPrefix                // Path_History screen rejected the instance
-	KindSpawnDropNoContext             // all microcontexts busy
+	KindSpawnDropNoContext             // all of this thread's microcontexts busy
+	KindSpawnDropCoRunner              // SMT co-runners hold the shared budget
 	KindSpawn                          // microcontext allocated, routine injected
 	// Active microcontexts (internal/cpu, monitorContexts/abortContext).
 	KindAbortActive     // Path_History abort after allocation
@@ -58,6 +59,7 @@ var kindNames = [NumKinds]string{
 	KindSpawnAttempt:        "spawn_attempt",
 	KindSpawnDropPrefix:     "spawn_drop_prefix",
 	KindSpawnDropNoContext:  "spawn_drop_no_context",
+	KindSpawnDropCoRunner:   "spawn_drop_co_runner",
 	KindSpawn:               "spawn",
 	KindAbortActive:         "abort_active",
 	KindComplete:            "complete",
@@ -103,13 +105,16 @@ func (k Kind) Category() string {
 // delivery events Path is the routine's Path_Id and Seq the dynamic
 // sequence number involved; Arg carries a kind-specific detail (the
 // prediction's ready cycle for deliveries and Prediction Cache writes,
-// the microcontext index for spawns and aborts).
+// the microcontext index for spawns and aborts). Ctx is the primary
+// context the event belongs to — always 0 outside SMT runs, where it
+// attributes every spawn and delivery to its primary thread.
 type Event struct {
 	Cycle uint64
 	Path  uint64
 	Seq   uint64
 	Arg   uint64
 	Kind  Kind
+	Ctx   uint8
 }
 
 // Sample is one periodic pipeline-occupancy observation.
@@ -140,6 +145,7 @@ const defaultSampleEvery = 256
 // owns its own (see Collector for the multi-run aggregation).
 type Tracer struct {
 	now     uint64
+	ctx     uint8
 	limit   int
 	events  []Event
 	dropped uint64
@@ -183,6 +189,13 @@ func (t *Tracer) SetNow(cycle uint64) { t.now = cycle }
 // Now returns the current event timestamp.
 func (t *Tracer) Now() uint64 { return t.now }
 
+// SetCtx sets the primary-context index stamped onto subsequent Emit
+// calls. Single-thread runs leave it 0; an SMT run sets it each time the
+// fetch arbiter hands the machine to a different primary thread, so
+// every event a shared structure emits lands on the thread that caused
+// it.
+func (t *Tracer) SetCtx(ctx uint8) { t.ctx = ctx }
+
 // Emit records an event at the current cycle (see SetNow).
 func (t *Tracer) Emit(k Kind, path, seq, arg uint64) {
 	t.EmitAt(t.now, k, path, seq, arg)
@@ -195,7 +208,7 @@ func (t *Tracer) EmitAt(cycle uint64, k Kind, path, seq, arg uint64) {
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, Event{Cycle: cycle, Path: path, Seq: seq, Arg: arg, Kind: k})
+	t.events = append(t.events, Event{Cycle: cycle, Path: path, Seq: seq, Arg: arg, Kind: k, Ctx: t.ctx})
 }
 
 // ShouldSample reports whether an occupancy sample is due at cycle.

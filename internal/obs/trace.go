@@ -130,17 +130,22 @@ func WriteChromeTrace(w io.Writer, runs []RunTrace) error {
 			}
 		}
 		for _, ev := range t.Events() {
+			// Each primary context is its own thread track, so SMT runs
+			// render one lane per primary; single-thread runs stay on
+			// thread 0 exactly as before.
 			if err := emit(chromeEvent{
 				Name: ev.Kind.String(),
 				Cat:  ev.Kind.Category(),
 				Ph:   "i",
 				TS:   ev.Cycle,
 				PID:  pid,
+				TID:  int(ev.Ctx),
 				S:    "t",
 				Args: map[string]any{
 					"path": fmt.Sprintf("%#x", ev.Path),
 					"seq":  ev.Seq,
 					"arg":  ev.Arg,
+					"ctx":  ev.Ctx,
 				},
 			}); err != nil {
 				return err

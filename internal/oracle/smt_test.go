@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dpbp/internal/cpu"
+	"dpbp/internal/program"
+	"dpbp/internal/synth"
+)
+
+// smtSmokeCfg sweeps the sharing/policy matrix deterministically: the
+// seed picks fetch policy and sharing bits so the 32-seed suite covers
+// every sharing flag under both arbiters.
+func smtSmokeCfg(seed int64) cpu.Config {
+	cfg := Ablations()[1].Config // full microthread mechanism
+	cfg.SMT = smtConfigFromBits(uint64(seed)%31 + 1)
+	return cfg
+}
+
+// TestOracleSMTSmoke is the SMT arm of the deterministic suite: pairs of
+// seeded random programs co-scheduled under a rotating sharing/policy
+// matrix must each retire their solo reference stream bit for bit, end
+// in their reference architectural state, and satisfy every SMT
+// conservation law and trace reconciliation.
+func TestOracleSMTSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 32; seed++ {
+		a := synth.RandSpec{Seed: seed, Units: 5}
+		b := synth.RandSpec{Seed: seed + 1000, Units: 5}
+		if err := verifySMTSpecs(a, b, smtSmokeCfg(seed), SMTOptions{MaxInsts: 8_000, Trace: true}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestOracleSMTOneContextBridge drives VerifySMT's built-in bridge law:
+// a 1-context SMT run of a fixed-profile program must be bit-identical
+// to the solo machine (checked inside VerifySMT when k == 1).
+func TestOracleSMTOneContextBridge(t *testing.T) {
+	for _, policy := range []cpu.FetchPolicy{cpu.FetchRoundRobin, cpu.FetchICount} {
+		cfg := Ablations()[1].Config
+		cfg.SMT = cpu.SMTConfig{
+			Contexts:    []cpu.WorkloadRef{{Bench: "gcc"}},
+			FetchPolicy: policy,
+		}
+		p, err := synth.ProfileByName("gcc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := []*program.Program{synth.Generate(p)}
+		if err := VerifySMT(progs, cfg, SMTOptions{MaxInsts: 12_000}); err != nil {
+			t.Errorf("%v: %v", policy, err)
+		}
+	}
+}
+
+// TestVerifySMTDetectsInjectedFault is the SMT mutation test: a flipped
+// Taken bit in one context's stream must surface as a stream divergence
+// attributed to that context, and the shrinker must reduce the failing
+// pair to a minimal one — each context's spec shrunk while holding the
+// other fixed.
+func TestVerifySMTDetectsInjectedFault(t *testing.T) {
+	cfg := Ablations()[1].Config
+	cfg.SMT = smtConfigFromBits(30) // rr, everything shared: the worst case
+	opts := SMTOptions{MaxInsts: 8_000, Fault: &SMTFault{Ctx: 1, Seq: 3_000}}
+	a := synth.RandSpec{Seed: 7, Units: 6}
+	b := synth.RandSpec{Seed: 8, Units: 6}
+
+	err := verifySMTSpecs(a, b, cfg, opts)
+	div, ok := err.(*Divergence)
+	if !ok || div.Kind != "stream" || div.Seq != 3_000 {
+		t.Fatalf("expected a stream divergence at seq 3000, got %v", err)
+	}
+	if !strings.Contains(div.Config, "ctx1") {
+		t.Errorf("divergence not attributed to the faulted context: %v", div)
+	}
+	if !strings.Contains(div.Detail, "taken") {
+		t.Errorf("divergence does not name the corrupted field: %v", div)
+	}
+
+	// Shrink the pair: first the faulted context's program, then the
+	// co-runner's, each holding the other fixed.
+	shrunkB := Shrink(b, func(s synth.RandSpec) bool {
+		return verifySMTSpecs(a, s, cfg, opts) != nil
+	})
+	shrunkA := Shrink(a, func(s synth.RandSpec) bool {
+		return verifySMTSpecs(s, shrunkB, cfg, opts) != nil
+	})
+	if verifySMTSpecs(shrunkA, shrunkB, cfg, opts) == nil {
+		t.Fatal("shrunk context pair no longer fails")
+	}
+	if shrunkA.IncludedUnits() > a.IncludedUnits() || shrunkB.IncludedUnits() > b.IncludedUnits() {
+		t.Fatalf("shrinking grew the pair: %v + %v", shrunkA, shrunkB)
+	}
+	// The fault fires on any ctx-1 program long enough to reach seq
+	// 3000, and the co-runner is architecturally irrelevant, so both
+	// sides must lose at least one unit.
+	if shrunkA.IncludedUnits() == a.IncludedUnits() && shrunkB.IncludedUnits() == b.IncludedUnits() {
+		t.Fatalf("shrinking removed nothing from either context: %v + %v", shrunkA, shrunkB)
+	}
+}
+
+// TestCheckSMTStatsCatchesCorruption corrupts one counter of a real SMT
+// run per conservation law and expects the checker to object to each —
+// the proof the SMT wall is load-bearing, not decorative.
+func TestCheckSMTStatsCatchesCorruption(t *testing.T) {
+	cfg := Ablations()[1].Config
+	cfg.SMT = smtConfigFromBits(6) // rr, shared path cache + shared pcache
+	cfg.MaxInsts = 12_000
+	progs := []*program.Program{
+		synth.RandomProgram(synth.RandSpec{Seed: 11, Units: 6}),
+		synth.RandomProgram(synth.RandSpec{Seed: 12, Units: 6}),
+	}
+	res, err := cpu.RunSMT(context.Background(), progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := cfg.Canonical()
+	canon.MaxInsts = cfg.MaxInsts
+	if cerr := CheckSMTStats(res, canon); cerr != nil {
+		t.Fatalf("clean SMT run fails stats check: %v", cerr)
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(*cpu.SMTResult)
+	}{
+		{"spawn conservation with denial term", func(r *cpu.SMTResult) { r.Contexts[0].Micro.CoRunnerDenied++ }},
+		{"machine-wide inflight budget", func(r *cpu.SMTResult) { r.Contexts[1].Micro.Spawned += 1000 }},
+		{"shared path-cache copies identical", func(r *cpu.SMTResult) { r.Contexts[1].PathCache.Hits++ }},
+		{"shared pcache delivery sum", func(r *cpu.SMTResult) { r.Contexts[0].Micro.Useless++ }},
+		{"occupancy within capacity", func(r *cpu.SMTResult) { r.PathCacheOccupancy = r.PathCacheCapacity + 1 }},
+		{"capacity recorded", func(r *cpu.SMTResult) { r.PathCacheOccupancy, r.PathCacheCapacity = 0, 0 }},
+		{"machine span is max context span", func(r *cpu.SMTResult) { r.Cycles++ }},
+		{"sharing flags copied", func(r *cpu.SMTResult) { r.SharedPathCache = false }},
+		{"per-context stream totals", func(r *cpu.SMTResult) { r.Contexts[0].Branches = r.Contexts[0].Insts + 1 }},
+	}
+	for _, m := range mutations {
+		bad := *res
+		bad.Contexts = make([]*cpu.Result, len(res.Contexts))
+		for i, c := range res.Contexts {
+			cc := *c
+			bad.Contexts[i] = &cc
+		}
+		m.mut(&bad)
+		if cerr := CheckSMTStats(&bad, canon); cerr == nil {
+			t.Errorf("%s: corruption not detected", m.name)
+		}
+	}
+}
+
+// TestCheckSMTStatsSoloDenialPurity pins the CoRunnerDenied purity law
+// both ways: a 1-context SMT result must report zero denials, and the
+// solo CheckStats must reject a nonzero denial count outside SMT.
+func TestCheckSMTStatsSoloDenialPurity(t *testing.T) {
+	cfg := Ablations()[1].Config
+	cfg.MaxInsts = 8_000
+	res := cpu.Run(synth.Random(3, 5), cfg)
+	canon := cfg.Canonical()
+	canon.MaxInsts = cfg.MaxInsts
+	if err := CheckStats(res, canon); err != nil {
+		t.Fatalf("clean solo run fails: %v", err)
+	}
+	bad := *res
+	bad.Micro.CoRunnerDenied++
+	bad.Micro.AttemptedSpawns++ // keep the sum law satisfied; purity must still object
+	if err := CheckStats(&bad, canon); err == nil {
+		t.Error("solo run with co-runner denials accepted")
+	}
+}

@@ -37,10 +37,16 @@ func CheckStats(res *cpu.Result, cfg cpu.Config) error {
 	chk(res.Mispredicts <= res.Branches, "mispredicts %d > branches %d", res.Mispredicts, res.Branches)
 
 	// Spawning: every attempt is dropped by the prefix screen, dropped
-	// for lack of a microcontext, or spawned (trySpawns).
-	chk(ms.AttemptedSpawns == ms.PrefixMismatchDrops+ms.NoContextDrops+ms.Spawned,
-		"attempts %d != prefix drops %d + no-context drops %d + spawns %d",
-		ms.AttemptedSpawns, ms.PrefixMismatchDrops, ms.NoContextDrops, ms.Spawned)
+	// for lack of a microcontext, denied by co-runners holding the
+	// machine-wide SMT budget, or spawned (trySpawns).
+	chk(ms.AttemptedSpawns == ms.PrefixMismatchDrops+ms.NoContextDrops+ms.CoRunnerDenied+ms.Spawned,
+		"attempts %d != prefix drops %d + no-context drops %d + co-runner denials %d + spawns %d",
+		ms.AttemptedSpawns, ms.PrefixMismatchDrops, ms.NoContextDrops, ms.CoRunnerDenied, ms.Spawned)
+	// Co-runner denials require co-runners: a solo machine never sets the
+	// shared-budget pointer, so the counter must stay zero outside SMT.
+	if !cfg.SMT.Enabled() || len(cfg.SMT.Contexts) == 1 {
+		chk(ms.CoRunnerDenied == 0, "co-runner denials %d on a solo machine", ms.CoRunnerDenied)
+	}
 
 	// Microcontext lifecycle: spawned contexts complete, abort, or are
 	// still in flight at run end — and in-flight is bounded by the
@@ -203,6 +209,7 @@ func CheckTrace(tr *obs.Tracer, res *cpu.Result) error {
 		{obs.KindSpawnAttempt, ms.AttemptedSpawns},
 		{obs.KindSpawnDropPrefix, ms.PrefixMismatchDrops},
 		{obs.KindSpawnDropNoContext, ms.NoContextDrops},
+		{obs.KindSpawnDropCoRunner, ms.CoRunnerDenied},
 		{obs.KindSpawn, ms.Spawned},
 		{obs.KindAbortActive, ms.AbortedActive},
 		{obs.KindComplete, ms.Completed},

@@ -291,6 +291,21 @@ func (c *Cache) victim(id path.ID) (*entry, bool) {
 	return &set[best], true
 }
 
+// Occupancy returns the number of valid entries currently resident. It
+// can never exceed Capacity — the SMT conservation laws in
+// internal/oracle check exactly that on shared caches.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // DifficultCount returns the number of currently difficult entries, for
 // statistics.
 func (c *Cache) DifficultCount() int {

@@ -2,17 +2,25 @@
 // structure through which microthreads communicate pre-computed branch
 // outcomes to the front end.
 //
-// A microthread's Store_PCache writes an entry keyed by (Path_Id, Seq_Num)
-// — the path being predicted and the dynamic sequence number of the
-// specific branch instance. The front end probes the cache when it fetches
-// a branch; a hit overrides the hardware prediction. Writes that arrive
-// after the branch was fetched are matched against in-flight instances by
-// the core to initiate early recoveries (that matching lives in the timing
-// core; this package stores and expires entries).
+// A microthread's Store_PCache writes an entry keyed by (Ctx, Path_Id,
+// Seq_Num) — the primary context that spawned the microthread, the path
+// being predicted, and the dynamic sequence number of the specific branch
+// instance. The front end probes the cache when it fetches a branch; a
+// hit overrides the hardware prediction. Writes that arrive after the
+// branch was fetched are matched against in-flight instances by the core
+// to initiate early recoveries (that matching lives in the timing core;
+// this package stores and expires entries).
+//
+// The context tag exists for SMT: each primary thread numbers its dynamic
+// instructions from zero, so under a shared Prediction Cache a bare
+// (Path_Id, Seq_Num) key would collide across contexts, and one thread's
+// expiry sweep would reclaim a slower co-runner's still-future entries.
+// Single-thread runs pass context 0 everywhere and behave exactly as
+// before.
 //
 // The cache is small (128 entries in the paper) because entries are
-// short-lived: any entry whose Seq_Num is behind the front end's position
-// can never match again and is eagerly reclaimed.
+// short-lived: any entry whose Seq_Num is behind its own context's fetch
+// position can never match again and is eagerly reclaimed.
 package pcache
 
 import (
@@ -22,6 +30,9 @@ import (
 
 // Entry is one microthread prediction.
 type Entry struct {
+	// Ctx is the primary context whose instruction stream Seq indexes;
+	// 0 outside SMT runs.
+	Ctx    uint8
 	PathID path.ID
 	Seq    uint64
 	Taken  bool
@@ -54,6 +65,7 @@ type Cache struct {
 }
 
 type key struct {
+	ctx uint8
 	id  path.ID
 	seq uint64
 }
@@ -85,7 +97,7 @@ func (c *Cache) Len() int { return len(c.index) }
 // de-allocation keeps 128 entries sufficient.
 func (c *Cache) Write(e Entry) {
 	c.Stats.Writes++
-	k := key{e.PathID, e.Seq}
+	k := key{e.Ctx, e.PathID, e.Seq}
 	if i, ok := c.index[k]; ok {
 		c.Stats.Overwrites++
 		c.entries[i] = e
@@ -107,7 +119,8 @@ func (c *Cache) Write(e Entry) {
 			}
 		}
 		c.Stats.Evictions++
-		delete(c.index, key{c.entries[victim].PathID, c.entries[victim].Seq})
+		v := &c.entries[victim]
+		delete(c.index, key{v.Ctx, v.PathID, v.Seq})
 		slot = victim
 	}
 	c.entries[slot] = e
@@ -116,10 +129,10 @@ func (c *Cache) Write(e Entry) {
 }
 
 // Consume probes the cache at fetch time for the branch instance
-// (id, seq). A hit removes and returns the entry: each prediction targets
-// exactly one dynamic instance.
-func (c *Cache) Consume(id path.ID, seq uint64) (Entry, bool) {
-	k := key{id, seq}
+// (ctx, id, seq). A hit removes and returns the entry: each prediction
+// targets exactly one dynamic instance.
+func (c *Cache) Consume(ctx uint8, id path.ID, seq uint64) (Entry, bool) {
+	k := key{ctx, id, seq}
 	i, ok := c.index[k]
 	if !ok {
 		c.Stats.Misses++
@@ -131,11 +144,11 @@ func (c *Cache) Consume(id path.ID, seq uint64) (Entry, bool) {
 	return e, true
 }
 
-// Remove deletes the entry for (id, seq) if present, returning whether it
-// existed. The SSMT core uses it when an aborted microthread's pending
-// write must be cancelled.
-func (c *Cache) Remove(id path.ID, seq uint64) bool {
-	k := key{id, seq}
+// Remove deletes the entry for (ctx, id, seq) if present, returning
+// whether it existed. The SSMT core uses it when an aborted microthread's
+// pending write must be cancelled.
+func (c *Cache) Remove(ctx uint8, id path.ID, seq uint64) bool {
+	k := key{ctx, id, seq}
 	i, ok := c.index[k]
 	if !ok {
 		return false
@@ -144,16 +157,20 @@ func (c *Cache) Remove(id path.ID, seq uint64) bool {
 	return true
 }
 
-// Expire reclaims every entry whose Seq is at or behind the front end's
-// current fetch sequence number; such entries can never match again.
-func (c *Cache) Expire(fetchSeq uint64) {
+// Expire reclaims every entry of context ctx whose Seq is at or behind
+// that context's current fetch sequence number; such entries can never
+// match again. Other contexts' entries are untouched: under a shared
+// cache each primary thread numbers its stream independently, so a fast
+// thread's sweep must not judge a slow co-runner's entries stale.
+func (c *Cache) Expire(ctx uint8, fetchSeq uint64) {
 	if len(c.index) == 0 {
 		return
 	}
 	for i := range c.entries {
-		if c.used[i] && c.entries[i].Seq <= fetchSeq {
+		e := &c.entries[i]
+		if c.used[i] && e.Ctx == ctx && e.Seq <= fetchSeq {
 			c.Stats.Expired++
-			c.release(i, key{c.entries[i].PathID, c.entries[i].Seq})
+			c.release(i, key{e.Ctx, e.PathID, e.Seq})
 		}
 	}
 }

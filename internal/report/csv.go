@@ -40,6 +40,8 @@ func CSV(w io.Writer, v any) error {
 		err = csvAblations(cw, r)
 	case *results.ShootoutResult:
 		err = csvShootout(cw, r)
+	case *results.SMTResult:
+		err = csvSMT(cw, r)
 	case *obs.Registry:
 		err = csvMetrics(cw, r)
 	default:
@@ -254,6 +256,29 @@ func csvShootout(w *csv.Writer, s *results.ShootoutResult) error {
 	for ci, g := range s.Geomean {
 		if err := w.Write([]string{"geomean", s.Configs[ci], "", ftoa(g), ""}); err != nil {
 			return err
+		}
+	}
+	return csvErrors(w, s.Errors)
+}
+
+func csvSMT(w *csv.Writer, s *results.SMTResult) error {
+	header := []string{"mix", "sharing", "fetch_policy", "ctx", "bench",
+		"ipc", "solo_ipc", "machine_ipc", "coverage_pct", "solo_coverage_pct",
+		"attempted_spawns", "co_runner_denied", "denial_rate_pct"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, m := range s.Mixes {
+		for _, v := range m.Variants {
+			for i, c := range v.Contexts {
+				rec := []string{m.Name, v.Sharing, s.FetchPolicy, itoa(i), c.Bench,
+					ftoa(c.IPC), ftoa(c.SoloIPC), ftoa(v.MachineIPC),
+					ftoa(c.CoveragePct), ftoa(c.SoloCoveragePct),
+					utoa(c.AttemptedSpawns), utoa(c.CoRunnerDenied), ftoa(c.DenialRatePct)}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return csvErrors(w, s.Errors)

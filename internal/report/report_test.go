@@ -159,3 +159,69 @@ func TestThresholdLabel(t *testing.T) {
 		}
 	}
 }
+
+// fakeSMT is a hand-built partial SMT result: one complete mix, one
+// failed variant recorded as an error.
+func fakeSMT() *results.SMTResult {
+	return &results.SMTResult{
+		FetchPolicy: "icount",
+		Mixes: []results.SMTMix{{
+			Name: "gcc+ijpeg",
+			Variants: []results.SMTVariant{{
+				Sharing:    "shared-pathcache",
+				MachineIPC: 1.5,
+				Cycles:     123456,
+				Contexts: []results.SMTContextRow{
+					{Bench: "gcc", IPC: 0.7, SoloIPC: 0.75, CoveragePct: 3.2,
+						SoloCoveragePct: 5.8, AttemptedSpawns: 100, CoRunnerDenied: 48, DenialRatePct: 48},
+					{Bench: "ijpeg", IPC: 2.8, SoloIPC: 2.9, CoveragePct: 4.1,
+						SoloCoveragePct: 3.9, AttemptedSpawns: 400, CoRunnerDenied: 3, DenialRatePct: 0.75},
+				},
+			}},
+		}},
+		Errors: []results.RunError{{Bench: "gcc+ijpeg/private", Err: "run timed out"}},
+	}
+}
+
+func TestTextSMT(t *testing.T) {
+	s, err := TextString(fakeSMT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SMT", "icount", "gcc+ijpeg", "shared-pathcache",
+		"0:gcc", "1:ijpeg", "48.0",
+		"PARTIAL RESULT: 1 run(s) did not complete",
+		"gcc+ijpeg/private: run timed out",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SMT text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVSMT(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, fakeSMT()); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(b.String()))
+	r.FieldsPerRecord = -1 // ERROR records are shorter than data rows
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 context rows + 1 error record.
+	if len(recs) != 4 {
+		t.Fatalf("got %d records:\n%s", len(recs), b.String())
+	}
+	if recs[0][0] != "mix" || recs[0][4] != "bench" {
+		t.Errorf("bad header: %v", recs[0])
+	}
+	if recs[1][0] != "gcc+ijpeg" || recs[1][4] != "gcc" || recs[2][4] != "ijpeg" {
+		t.Errorf("bad rows: %v / %v", recs[1], recs[2])
+	}
+	if recs[3][0] != "ERROR" || recs[3][1] != "gcc+ijpeg/private" {
+		t.Errorf("bad error record: %v", recs[3])
+	}
+}

@@ -47,6 +47,8 @@ func TextString(v any) (string, error) {
 		return textAblations(r), nil
 	case *results.ShootoutResult:
 		return textShootout(r), nil
+	case *results.SMTResult:
+		return textSMT(r), nil
 	case *obs.Registry:
 		return textMetrics(r), nil
 	}
@@ -419,6 +421,30 @@ func textShootout(s *results.ShootoutResult) string {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	flushTable(w)
+	textErrors(&b, s.Errors)
+	return b.String()
+}
+
+func textSMT(s *results.SMTResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMT: primary-context interference (fetch policy %s)\n", s.FetchPolicy)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Mix\tsharing\tmachine IPC\tctx\tIPC\tsolo\tcover%\tsolo%\tdenied%")
+	for _, m := range s.Mixes {
+		for _, v := range m.Variants {
+			for i, c := range v.Contexts {
+				mix, sharing, machine := "", "", ""
+				if i == 0 {
+					mix, sharing = m.Name, v.Sharing
+					machine = fmt.Sprintf("%.3f", v.MachineIPC)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%d:%s\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\n",
+					mix, sharing, machine, i, c.Bench,
+					c.IPC, c.SoloIPC, c.CoveragePct, c.SoloCoveragePct, c.DenialRatePct)
+			}
+		}
 	}
 	flushTable(w)
 	textErrors(&b, s.Errors)

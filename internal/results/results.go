@@ -216,6 +216,62 @@ type ShootoutCell struct {
 	MispredictPct float64 `json:"mispredict_pct"`
 }
 
+// SMTResult is the SMT interference study: pairs of benchmarks
+// co-scheduled as primary contexts on one machine, each mix run under a
+// private-everything configuration and a shared-Path-Cache one. Per
+// context it reports throughput against the solo run of the same
+// workload, difficult-path coverage degradation (the fraction of
+// hardware mispredicts the microthread mechanism fixed), and the
+// spawn-denial rate against the machine-wide microcontext budget.
+type SMTResult struct {
+	// FetchPolicy names the fetch arbiter every run used ("rr" or
+	// "icount").
+	FetchPolicy string     `json:"fetch_policy"`
+	Mixes       []SMTMix   `json:"mixes"`
+	Errors      []RunError `json:"errors,omitempty"`
+}
+
+// SMTMix is one co-scheduled workload pair (or tuple) across the
+// sharing variants.
+type SMTMix struct {
+	// Name joins the benchmark names with "+" ("gcc+ijpeg").
+	Name     string       `json:"name"`
+	Variants []SMTVariant `json:"variants"`
+}
+
+// SMTVariant is one sharing configuration of one mix.
+type SMTVariant struct {
+	// Sharing names the variant: "private", or "shared-" plus the
+	// structures shared ("shared-pathcache").
+	Sharing string `json:"sharing"`
+	// MachineIPC is whole-machine throughput: total retired primary
+	// instructions over the machine's cycle span.
+	MachineIPC float64 `json:"machine_ipc"`
+	// Cycles is the machine's span (max context retirement front).
+	Cycles   uint64          `json:"cycles"`
+	Contexts []SMTContextRow `json:"contexts"`
+}
+
+// SMTContextRow is one primary context's outcome within a variant.
+type SMTContextRow struct {
+	Bench string `json:"bench"`
+	// IPC is this context's throughput over its own cycle span; SoloIPC
+	// is the same workload run alone on the same machine configuration.
+	IPC     float64 `json:"ipc"`
+	SoloIPC float64 `json:"solo_ipc"`
+	// CoveragePct is difficult-path coverage: the percentage of hardware
+	// mispredicts the microthread mechanism fixed (used-fixed plus early
+	// recoveries). SoloCoveragePct is the solo run's value; the gap is
+	// the interference cost co-runners impose on the mechanism.
+	CoveragePct     float64 `json:"coverage_pct"`
+	SoloCoveragePct float64 `json:"solo_coverage_pct"`
+	// AttemptedSpawns and CoRunnerDenied expose the contended-budget
+	// traffic; DenialRatePct is their ratio in percent.
+	AttemptedSpawns uint64  `json:"attempted_spawns"`
+	CoRunnerDenied  uint64  `json:"co_runner_denied"`
+	DenialRatePct   float64 `json:"denial_rate_pct"`
+}
+
 // AblationResult quantifies the design choices DESIGN.md calls out, each
 // as a geomean speed-up over the shared baseline across the selected
 // benchmarks.
